@@ -1,0 +1,30 @@
+"""Fig. 4: relative total-latency speedup of FOSS over every other method,
+per workload and split.
+
+Expected shape: every entry >= ~1 (FOSS fastest on average); the largest
+margins appear on JOB.
+"""
+
+import pytest
+
+from repro.experiments.reporting import render_relative_speedup
+
+METHODS = ["PostgreSQL", "Bao", "Balsa", "Loger", "HybridQO", "FOSS"]
+WORKLOADS = ["job", "tpcds", "stack"]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_relative_speedup(registry, benchmark, capsys):
+    results = [registry.result(method, wl) for method in METHODS for wl in WORKLOADS]
+
+    foss = registry.optimizer("FOSS", "job")
+    query = registry.workloads["job"].test[1].query
+    benchmark(lambda: foss.optimize(query))
+
+    with capsys.disabled():
+        print("\n=== Fig. 4: relative speedup of FOSS over other methods ===")
+        print(render_relative_speedup(results))
+
+    pg = registry.result("PostgreSQL", "job")
+    foss_result = registry.result("FOSS", "job")
+    assert foss_result.train.total_runtime_s <= pg.train.total_runtime_s * 1.05

@@ -1,0 +1,38 @@
+"""Fig. 6: optimization-time distribution (SQL in -> plan out) per optimizer
+on the full JOB workload, as box statistics (p25/p50/p75).
+
+Expected shape: PostgreSQL is fastest; Loger beats FOSS (no expert DP run);
+FOSS beats Bao/Balsa/HybridQO (they enumerate more candidate plans).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import optimization_times
+from repro.experiments.reporting import render_box_stats
+
+METHODS = ["PostgreSQL", "Bao", "Balsa", "Loger", "HybridQO", "FOSS"]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_optimization_time(registry, benchmark, capsys):
+    workload = registry.workloads["job"]
+    queries = workload.all_queries
+    times = {}
+    for method in METHODS:
+        optimizer = registry.optimizer(method, "job")
+        # Clear cached plans so each method pays its real planning cost
+        # (the paper times SQL-in -> plan-out from cold).
+        workload.database.clear_plan_cache()
+        times[method] = optimization_times(workload.database, queries, optimizer)
+
+    foss = registry.optimizer("FOSS", "job")
+    benchmark(lambda: foss.optimize(queries[0].query))
+
+    with capsys.disabled():
+        print("\n=== Fig. 6: optimization time per optimizer (full JOB) ===")
+        print(render_box_stats(times))
+
+    # Shape: the expert alone is cheapest; Loger cheaper than FOSS.
+    assert np.median(times["PostgreSQL"]) <= np.median(times["FOSS"])
+    assert np.median(times["Loger"]) <= np.median(times["FOSS"])

@@ -1,0 +1,50 @@
+"""Fig. 7: distribution of the step index at which each query's known best
+plan was found, under different ``maxsteps`` settings.
+
+Expected shape: effective plans concentrate on steps 1-3; with maxsteps=2 a
+pile-up at step 2 suggests 2 is insufficient; with maxsteps=5 steps 4-5 are
+rare — the paper's argument for maxsteps=3.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.core.trainer import FossTrainer
+from repro.experiments.reporting import render_steps_distribution
+
+from conftest import small_foss_config
+
+MAXSTEPS_SETTINGS = (2, 3, 4, 5)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_steps_distribution(registry, benchmark, capsys):
+    workload = registry.workloads["job"]
+    distribution: Dict[int, Dict[int, int]] = {}
+    trainers: Dict[int, FossTrainer] = {}
+
+    for max_steps in MAXSTEPS_SETTINGS:
+        if max_steps == 3:
+            trainer = registry.foss_trainer("job")
+        else:
+            trainer = FossTrainer(workload, small_foss_config(max_steps=max_steps, seed=70 + max_steps))
+            trainer.train(iterations=2)
+        trainers[max_steps] = trainer
+        optimizer = trainer.make_optimizer()
+        counts: Dict[int, int] = {step: 0 for step in range(max_steps + 1)}
+        for wq in workload.all_queries:
+            counts[optimizer.optimize(wq.query).chosen_step] += 1
+        distribution[max_steps] = counts
+
+    optimizer = trainers[3].make_optimizer()
+    benchmark(lambda: optimizer.optimize(workload.all_queries[0].query))
+
+    with capsys.disabled():
+        print("\n=== Fig. 7: chosen-step distribution per maxsteps setting ===")
+        print(render_steps_distribution(distribution))
+
+    for max_steps, counts in distribution.items():
+        assert sum(counts.values()) == len(workload.all_queries)
+        # Every chosen step respects the setting's bound.
+        assert max(step for step, c in counts.items() if c > 0) <= max_steps

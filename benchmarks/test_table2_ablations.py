@@ -1,0 +1,70 @@
+"""Table II: design-choice ablations on JOB.
+
+Configurations: maxsteps in {2,3,4,5}, Off-Simulated, Off-Penalty,
+Off-Validation, 2-Agents.  Reported: training time, mean optimization time,
+GMRL on the full JOB workload.
+
+Expected shape: maxsteps=3 is the sweet spot; Off-Simulated needs far more
+wall time per unit of progress; Off-Penalty and Off-Validation degrade
+GMRL; 2-Agents matches or beats 1 agent at higher cost.
+"""
+
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import FossTrainer
+from repro.experiments.harness import evaluate_optimizer
+from repro.experiments.reporting import render_ablation_table
+
+from conftest import BENCH_ITERS, small_foss_config
+
+ABLATION_ITERS = max(2, BENCH_ITERS // 2)
+
+
+def _run_config(workload, label: str, **overrides) -> Dict[str, object]:
+    config = small_foss_config(seed=100 + hash(label) % 50, **overrides)
+    trainer = FossTrainer(workload, config)
+    start = time.perf_counter()
+    iters = ABLATION_ITERS
+    if not config.use_simulated:
+        iters = max(1, ABLATION_ITERS // 2)  # real-env episodes are costly
+    trainer.train(iterations=iters)
+    training_time = time.perf_counter() - start
+    optimizer = trainer.make_optimizer()
+    evaluation = evaluate_optimizer(workload.database, workload.all_queries, optimizer)
+    return {
+        "experiment": label,
+        "training_time_s": training_time,
+        "optimization_ms": float(np.mean(evaluation.optimization_ms)),
+        "gmrl": evaluation.gmrl,
+        "_trainer": trainer,
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_ablations(registry, benchmark, capsys):
+    workload = registry.workloads["job"]
+    rows: List[Dict[str, object]] = []
+    for max_steps in (2, 3, 4, 5):
+        label = f"{max_steps}-Maxsteps" + (" (FOSS)" if max_steps == 3 else "")
+        rows.append(_run_config(workload, label, max_steps=max_steps))
+    rows.append(_run_config(workload, "Off-Simulated", use_simulated=False))
+    rows.append(_run_config(workload, "Off-Penalty", use_penalty=False))
+    rows.append(_run_config(workload, "Off-Validation", use_validation=False))
+    rows.append(_run_config(workload, "2-Agents", num_agents=2))
+
+    trainer = rows[1]["_trainer"]
+    benchmark(lambda: trainer.planners[0].run_episode(trainer.sim_env, workload.train[0].query))
+
+    with capsys.disabled():
+        print("\n=== Table II: design-choice ablations (JOB, reduced budgets) ===")
+        print(render_ablation_table(rows))
+
+    by_label = {str(r["experiment"]): r for r in rows}
+    # Larger maxsteps costs more optimization time per query.
+    assert by_label["5-Maxsteps"]["optimization_ms"] > by_label["2-Maxsteps"]["optimization_ms"]
+    # The doubled agent count roughly doubles candidates => more time.
+    assert by_label["2-Agents"]["optimization_ms"] > by_label["2-Maxsteps"]["optimization_ms"]

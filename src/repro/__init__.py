@@ -1,0 +1,32 @@
+"""Reproduction of *FOSS: A Self-Learned Doctor for Query Optimizer* (ICDE 2024).
+
+Public API highlights:
+
+* :func:`repro.workloads.build_workload_by_name` — build the JOB / TPC-DS /
+  Stack-like benchmark (dataset + query split);
+* :class:`repro.engine.Database` — the expert engine (Selinger-style
+  optimizer + virtual-time executor), the PostgreSQL stand-in;
+* :class:`repro.core.FossTrainer` / :class:`repro.core.FossConfig` — train
+  the plan doctor end to end;
+* :class:`repro.core.FossOptimizer` — the deployable optimizer
+  (``optimize(query) -> plan``);
+* :mod:`repro.baselines` — Bao, HybridQO, Balsa, Loger comparators;
+* :mod:`repro.experiments` — GMRL/WRL metrics, evaluation harness, and the
+  paper-shaped report renderers.
+"""
+
+from repro.core import FossConfig, FossOptimizer, FossTrainer
+from repro.engine import Database, Dataset
+from repro.workloads import build_workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FossTrainer",
+    "FossConfig",
+    "FossOptimizer",
+    "Database",
+    "Dataset",
+    "build_workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Comparator methods from the paper's evaluation (§VI-A).
+
+* :mod:`repro.baselines.postgres` — the expert optimizer as-is;
+* :mod:`repro.baselines.bao` — hint-set steering with a learned value model
+  (Bao, SIGMOD'21);
+* :mod:`repro.baselines.hybridqo` — MCTS over leading join-order prefixes
+  used as hints (HybridQO, VLDB'22);
+* :mod:`repro.baselines.balsa` — bottom-up plan construction bootstrapped
+  from the expert cost model (Balsa, SIGMOD'22);
+* :mod:`repro.baselines.loger` — bottom-up join-order RL with join-method
+  *restriction* actions (Loger, VLDB'23).
+
+These are re-implementations of each paper's core idea at this
+reproduction's scale; they are comparators, not contributions (DESIGN.md §2).
+"""
+
+from repro.baselines.value_model import PlanFeaturizer, ValueModel
+from repro.baselines.postgres import PostgresOptimizer
+from repro.baselines.bao import BaoOptimizer
+from repro.baselines.hybridqo import HybridQOOptimizer
+from repro.baselines.balsa import BalsaOptimizer
+from repro.baselines.loger import LogerOptimizer
+
+__all__ = [
+    "PlanFeaturizer",
+    "ValueModel",
+    "PostgresOptimizer",
+    "BaoOptimizer",
+    "HybridQOOptimizer",
+    "BalsaOptimizer",
+    "LogerOptimizer",
+]

@@ -1,0 +1,133 @@
+"""Loger: join order + join-method *restriction* learning (Chen et al., 2023).
+
+Loger's signature idea (as contrasted with Balsa in the paper): instead of
+picking a join method outright, the agent picks a *restriction* — a subset
+of methods to forbid — and lets the expert cost model choose among the
+remaining ones.  It builds plans bottom-up without consulting the expert
+optimizer for an original plan, which is why its optimization time is the
+lowest in Fig. 6 (no DP run per query).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.value_model import PlanFeaturizer, ValueModel
+from repro.core.inference import OptimizedPlan
+from repro.engine.database import Database
+from repro.optimizer.plans import JOIN_METHODS, JoinNode, PlanNode
+from repro.sql.ast import Query
+from repro.workloads.base import WorkloadQuery
+
+# Restriction actions: which methods the expert may NOT use at this join.
+RESTRICTIONS: Tuple[frozenset, ...] = (
+    frozenset(),
+    frozenset({"nestloop"}),
+    frozenset({"hash"}),
+    frozenset({"merge"}),
+    frozenset({"nestloop", "merge"}),
+    frozenset({"hash", "merge"}),
+)
+
+
+class LogerOptimizer:
+    """Greedy bottom-up construction with learned method restrictions."""
+
+    name = "Loger"
+
+    def __init__(
+        self,
+        database: Database,
+        epsilon: float = 0.25,
+        seed: int = 19,
+    ) -> None:
+        self.database = database
+        self.featurizer = PlanFeaturizer(database.schema)
+        self.value_model = ValueModel(self.featurizer.dim, rng=np.random.default_rng(seed))
+        self.epsilon = epsilon
+        self.rng = np.random.default_rng(seed)
+        self.training_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def _construct(self, query: Query, explore: bool = False) -> PlanNode:
+        enumerator = self.database.enumerator
+        scans = {alias: enumerator.best_scan(query, alias) for alias in query.aliases}
+        graph = query.join_graph()
+        # Start from the most selective scan (Loger's heuristic start).
+        start_alias = min(query.aliases, key=lambda a: scans[a].est_rows)
+        plan: PlanNode = scans[start_alias]
+        joined = {start_alias}
+        while len(joined) < len(query.aliases):
+            candidates = sorted(
+                alias
+                for alias in query.aliases
+                if alias not in joined and any(graph.has_edge(alias, j) for j in joined)
+            )
+            if not candidates:
+                candidates = sorted(a for a in query.aliases if a not in joined)
+            options: List[Tuple[float, PlanNode, str]] = []
+            for alias in candidates:
+                predicates = tuple(query.joins_between(list(joined), [alias]))
+                out_rows = enumerator.estimator.join_rows(
+                    query, plan.est_rows, scans[alias].est_rows, predicates
+                )
+                for restriction in RESTRICTIONS:
+                    allowed = [m for m in JOIN_METHODS if m not in restriction]
+                    # The expert cost model picks within the restriction.
+                    method = min(
+                        allowed,
+                        key=lambda m: enumerator.join_cost(
+                            query, m, plan.est_rows, scans[alias], out_rows, predicates
+                        ),
+                    )
+                    candidate = JoinNode(
+                        left=plan,
+                        right=scans[alias],
+                        method=method,
+                        predicates=predicates,
+                        est_rows=out_rows,
+                        est_cost=plan.est_cost
+                        + scans[alias].est_cost
+                        + enumerator.join_cost(
+                            query, method, plan.est_rows, scans[alias], out_rows, predicates
+                        ),
+                    )
+                    options.append((self._score(query, candidate), candidate, alias))
+            if explore and self.rng.random() < self.epsilon:
+                score, plan, alias = options[int(self.rng.integers(len(options)))]
+            else:
+                score, plan, alias = min(options, key=lambda item: item[0])
+            joined.add(alias)
+        return plan
+
+    def _score(self, query: Query, plan: PlanNode) -> float:
+        if self.value_model.trained:
+            return self.value_model.predict(self.featurizer.featurize(query, plan))
+        return float(plan.est_cost)
+
+    # ------------------------------------------------------------------
+    def optimize(self, query: Query) -> OptimizedPlan:
+        start = time.perf_counter()
+        plan = self._construct(query, explore=False)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return OptimizedPlan(
+            plan=plan, optimization_ms=elapsed_ms, candidates_considered=1, chosen_step=0
+        )
+
+    def train(self, queries: Sequence[WorkloadQuery], iterations: int = 3, timeout_factor: float = 3.0) -> None:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            for wq in queries:
+                plan = self._construct(wq.query, explore=True)
+                expert_latency = self.database.original_latency(wq.query)
+                result = self.database.execute(
+                    wq.query, plan, timeout_ms=timeout_factor * expert_latency
+                )
+                self.value_model.add_sample(
+                    self.featurizer.featurize(wq.query, plan), result.latency_ms
+                )
+            self.value_model.fit(epochs=30)
+        self.training_time_s += time.perf_counter() - start

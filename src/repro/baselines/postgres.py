@@ -1,0 +1,25 @@
+"""The expert optimizer as a method under test (the paper's baseline)."""
+
+from __future__ import annotations
+
+from repro.core.inference import OptimizedPlan
+from repro.engine.database import Database
+from repro.sql.ast import Query
+
+
+class PostgresOptimizer:
+    """Passes queries straight to the traditional optimizer."""
+
+    name = "PostgreSQL"
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def optimize(self, query: Query) -> OptimizedPlan:
+        planning = self.database.plan(query)
+        return OptimizedPlan(
+            plan=planning.plan,
+            optimization_ms=planning.planning_ms,
+            candidates_considered=1,
+            chosen_step=0,
+        )

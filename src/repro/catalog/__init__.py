@@ -1,0 +1,16 @@
+"""Catalog: logical schema, table statistics, and synthetic data generation."""
+
+from repro.catalog.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.catalog.statistics import ColumnStatistics, StatisticsCatalog, TableStatistics
+from repro.catalog import datagen
+
+__all__ = [
+    "ColumnSchema",
+    "TableSchema",
+    "ForeignKey",
+    "Schema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "StatisticsCatalog",
+    "datagen",
+]

@@ -1,0 +1,220 @@
+"""Synthetic data generation with planted skew and correlation.
+
+The reproduction cannot ship IMDb/TPC-DS/StackExchange data, so each
+workload's dataset is generated here.  The generators deliberately produce
+the two phenomena that make PostgreSQL's estimator err (and hence give FOSS
+headroom):
+
+* **Skewed foreign keys** — Zipf-distributed references violate the uniform
+  join-selectivity assumption ``1/max(ndv)``.
+* **Correlated columns** — attributes derived from other attributes violate
+  the independence assumption used to combine predicate selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ColumnSpec:
+    """Base class for declarative column generators."""
+
+    name: str
+
+    def generate(self, num_rows: int, rng: np.random.Generator, context: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass
+class SerialSpec(ColumnSpec):
+    """Primary key 0..n-1."""
+
+    def generate(self, num_rows, rng, context):
+        return np.arange(num_rows, dtype=np.int64)
+
+
+@dataclass
+class CategoricalSpec(ColumnSpec):
+    """Categorical codes in [0, cardinality) with optional Zipf skew."""
+
+    cardinality: int = 10
+    zipf: float = 0.0  # 0 = uniform; larger = more skew
+
+    def generate(self, num_rows, rng, context):
+        if self.zipf <= 0:
+            return rng.integers(0, self.cardinality, size=num_rows, dtype=np.int64)
+        weights = zipf_weights(self.cardinality, self.zipf)
+        return rng.choice(self.cardinality, size=num_rows, p=weights).astype(np.int64)
+
+
+@dataclass
+class UniformIntSpec(ColumnSpec):
+    """Uniform integers in [low, high]."""
+
+    low: int = 0
+    high: int = 100
+
+    def generate(self, num_rows, rng, context):
+        return rng.integers(self.low, self.high + 1, size=num_rows, dtype=np.int64)
+
+
+@dataclass
+class NormalIntSpec(ColumnSpec):
+    """Rounded Gaussian, clipped to [low, high] — e.g. production years."""
+
+    mean: float = 0.0
+    std: float = 1.0
+    low: int = 0
+    high: int = 100
+
+    def generate(self, num_rows, rng, context):
+        values = rng.normal(self.mean, self.std, size=num_rows)
+        return np.clip(np.round(values), self.low, self.high).astype(np.int64)
+
+
+@dataclass
+class ZipfFKSpec(ColumnSpec):
+    """Foreign key into a referenced table with Zipf-skewed popularity.
+
+    A handful of referenced rows receive most references — the classic
+    "popular movie" effect that breaks uniform join-selectivity estimates.
+    """
+
+    ref_size: int = 1000
+    skew: float = 1.1
+    shuffle_ranks: bool = True
+
+    def generate(self, num_rows, rng, context):
+        weights = zipf_weights(self.ref_size, self.skew)
+        if self.shuffle_ranks:
+            weights = rng.permutation(weights)
+        return rng.choice(self.ref_size, size=num_rows, p=weights).astype(np.int64)
+
+
+@dataclass
+class UniformFKSpec(ColumnSpec):
+    """Uniform foreign key into a referenced table of ``ref_size`` rows."""
+
+    ref_size: int = 1000
+
+    def generate(self, num_rows, rng, context):
+        return rng.integers(0, self.ref_size, size=num_rows, dtype=np.int64)
+
+
+@dataclass
+class CorrelatedSpec(ColumnSpec):
+    """A column functionally dependent (with noise) on another column.
+
+    ``value = mapping(base) with probability (1 - noise)`` else a uniform
+    draw.  The estimator treats the two columns as independent, so conjunctive
+    predicates over both are badly estimated.
+
+    The deterministic mapping is reproducible from ``(mapping_seed,
+    base_domain, cardinality)`` via :func:`correlation_mapping`, which lets
+    workload templates emit *consistent* predicate pairs on purpose.
+    """
+
+    base_column: str = ""
+    base_domain: int = 0  # 0 = infer from data (max + 1)
+    cardinality: int = 10
+    noise: float = 0.1
+    mapping_seed: int = 7
+
+    def generate(self, num_rows, rng, context):
+        if self.base_column not in context:
+            raise KeyError(
+                f"correlated column {self.name} requires {self.base_column} to be generated first"
+            )
+        base = context[self.base_column]
+        domain = self.base_domain or (int(base.max()) + 1 if len(base) else 1)
+        mapping = correlation_mapping(self.mapping_seed, domain, self.cardinality)
+        values = mapping[np.clip(base, 0, domain - 1)]
+        noisy = rng.random(num_rows) < self.noise
+        values = values.copy()
+        values[noisy] = rng.integers(0, self.cardinality, size=int(noisy.sum()))
+        return values.astype(np.int64)
+
+
+def correlation_mapping(mapping_seed: int, base_domain: int, cardinality: int) -> np.ndarray:
+    """The deterministic base-value -> correlated-value mapping."""
+    return np.random.default_rng(mapping_seed).integers(0, cardinality, size=max(base_domain, 1))
+
+
+@dataclass
+class PopularityRankSpec(ColumnSpec):
+    """An attribute monotone in the row's *popularity rank* (its id).
+
+    Used on dimension tables whose primary key is referenced by an
+    *unshuffled* :class:`ZipfFKSpec` (rank 1 = id 0 = most referenced).
+    Values run from ``high`` at id 0 down to ``low`` at the last id (plus
+    Gaussian noise), so predicates on this attribute silently select
+    popular or unpopular rows — the estimator's uniform-frequency join
+    assumption then misses by orders of magnitude.
+    """
+
+    low: int = 0
+    high: int = 100
+    noise_std: float = 0.0
+    descending: bool = True
+
+    def generate(self, num_rows, rng, context):
+        frac = np.arange(num_rows, dtype=np.float64) / max(num_rows - 1, 1)
+        if self.descending:
+            values = self.high - frac * (self.high - self.low)
+        else:
+            values = self.low + frac * (self.high - self.low)
+        if self.noise_std > 0:
+            values = values + rng.normal(0.0, self.noise_std, size=num_rows)
+        return np.clip(np.round(values), self.low, self.high).astype(np.int64)
+
+
+@dataclass
+class DerivedSpec(ColumnSpec):
+    """Arbitrary vectorized function of previously generated columns."""
+
+    function: Optional[Callable[[Dict[str, np.ndarray], np.random.Generator], np.ndarray]] = None
+
+    def generate(self, num_rows, rng, context):
+        if self.function is None:
+            raise ValueError(f"derived column {self.name} has no function")
+        values = self.function(context, rng)
+        if len(values) != num_rows:
+            raise ValueError(f"derived column {self.name} returned wrong length")
+        return np.asarray(values, dtype=np.int64)
+
+
+@dataclass
+class TableSpec:
+    """Declarative table generator: a name, row count, and column specs."""
+
+    name: str
+    num_rows: int
+    columns: List[ColumnSpec] = field(default_factory=list)
+
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        context: Dict[str, np.ndarray] = {}
+        for spec in self.columns:
+            context[spec.name] = spec.generate(self.num_rows, rng, context)
+        return context
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalized Zipf(skew) weights over ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def generate_tables(specs: Sequence[TableSpec], seed: int) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate all tables with a deterministic per-table RNG stream."""
+    result = {}
+    for i, spec in enumerate(specs):
+        rng = np.random.default_rng(seed + i * 1_000_003)
+        result[spec.name] = spec.generate(rng)
+    return result

@@ -1,0 +1,127 @@
+"""Logical schema objects: tables, columns, foreign keys, join graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """A column declaration.
+
+    ``dtype`` is "int" or "float"; string source data is dictionary-encoded
+    to int codes at load time, so "int" covers categorical columns too.
+    """
+
+    name: str
+    dtype: str = "int"
+    is_primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("int", "float"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declares ``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class TableSchema:
+    """A table declaration with columns and key metadata."""
+
+    name: str
+    columns: List[ColumnSchema]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in table {self.name}")
+        self._by_name = {c.name: c for c in self.columns}
+
+    def column(self, name: str) -> ColumnSchema:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"table {self.name} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key(self) -> Optional[str]:
+        for col in self.columns:
+            if col.is_primary_key:
+                return col.name
+        return None
+
+
+class Schema:
+    """The full logical schema: tables, foreign keys, and the join graph."""
+
+    def __init__(self, tables: Iterable[TableSchema], foreign_keys: Iterable[ForeignKey] = ()) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+        for table in tables:
+            if table.name in self._tables:
+                raise ValueError(f"duplicate table {table.name}")
+            self._tables[table.name] = table
+        self.foreign_keys: List[ForeignKey] = []
+        for fk in foreign_keys:
+            self._validate_fk(fk)
+            self.foreign_keys.append(fk)
+
+    def _validate_fk(self, fk: ForeignKey) -> None:
+        if fk.table not in self._tables:
+            raise KeyError(f"foreign key references unknown table {fk.table}")
+        if fk.ref_table not in self._tables:
+            raise KeyError(f"foreign key references unknown table {fk.ref_table}")
+        if not self._tables[fk.table].has_column(fk.column):
+            raise KeyError(f"unknown column {fk.table}.{fk.column}")
+        if not self._tables[fk.ref_table].has_column(fk.ref_column):
+            raise KeyError(f"unknown column {fk.ref_table}.{fk.ref_column}")
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def join_graph(self) -> nx.Graph:
+        """Undirected graph over tables; edges carry the joinable column pair."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._tables)
+        for fk in self.foreign_keys:
+            graph.add_edge(fk.table, fk.ref_table, columns=(fk.column, fk.ref_column), fk=fk)
+        return graph
+
+    def join_columns(self, table_a: str, table_b: str) -> Optional[Tuple[str, str]]:
+        """The (col_a, col_b) pair joining two tables, if an FK edge exists."""
+        for fk in self.foreign_keys:
+            if fk.table == table_a and fk.ref_table == table_b:
+                return (fk.column, fk.ref_column)
+            if fk.table == table_b and fk.ref_table == table_a:
+                return (fk.ref_column, fk.column)
+        return None

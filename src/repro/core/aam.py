@@ -1,0 +1,306 @@
+"""The Asymmetric Advantage Model (paper §IV).
+
+The AAM contains:
+
+* a **state network** ``phi``: embeddings for the QueryFormer-lite node
+  features, a reachability-masked transformer, root pooling, and a linear
+  head merging the step encoding into the final ``statevec`` — shared with
+  the planner's agent;
+* a **position-aware output layer**: the pair (statevec_l + pos_left,
+  statevec_r + pos_right) passes through FC1, the difference through FC2,
+  yielding the 3-way advantage score {0, 1, 2} (point set {0.05, 0.50});
+* the **asymmetric focal loss** with label smoothing (paper §IV-C), which
+  counters the label imbalance created by most plan edits being harmful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.encoding import (
+    EncodedPlan,
+    NUM_OPS,
+    NUM_PRED_OPS,
+    NUM_STRUCT_TYPES,
+)
+from repro.nn import functional as F
+from repro.nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    TransformerEncoderLayer,
+)
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad
+
+NUM_SCORES = 3  # the paper's point set {0.05, 0.50} -> scores {0, 1, 2}
+
+
+@dataclass
+class AAMConfig:
+    """Hyper-parameters for the AAM and its training."""
+
+    d_model: int = 64
+    d_embed: int = 16
+    d_state: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    ff_hidden: int = 128
+    head_hidden: int = 64
+    lr: float = 1e-3
+    epochs: int = 3
+    minibatch_size: int = 64
+    gamma_positive: float = 1.0   # focal decay for true-label terms
+    gamma_negative: float = 4.0   # focal decay for the rest (gamma+ < gamma-)
+    label_smoothing: float = 0.1  # epsilon
+    max_grad_norm: float = 5.0
+
+
+class StateNetwork(Module):
+    """``phi``: encoded plan + step status -> statevec (paper §IV-A)."""
+
+    def __init__(
+        self,
+        num_tables: int,
+        num_columns: int,
+        max_nodes: int,
+        config: AAMConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.max_nodes = max_nodes
+        d = config.d_embed
+        self.op_embed = Embedding(NUM_OPS, d, rng=rng)
+        self.table_embed = Embedding(num_tables, d, rng=rng)
+        self.column_embed = Embedding(num_columns, d, rng=rng)
+        self.pred_op_embed = Embedding(NUM_PRED_OPS, d, rng=rng)
+        self.height_embed = Embedding(max_nodes, d, rng=rng)
+        self.struct_embed = Embedding(NUM_STRUCT_TYPES, d, rng=rng)
+        self.value_direction = Parameter(rng.normal(0.0, 0.05, size=d))
+        # node vector: op | table | join cols | filters | height | struct
+        self.input_proj = Linear(6 * d, config.d_model, rng=rng)
+        self.layers = [
+            TransformerEncoderLayer(config.d_model, config.num_heads, config.ff_hidden, rng=rng)
+            for _ in range(config.num_layers)
+        ]
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"encoder{i}", layer)
+        self.final_norm = LayerNorm(config.d_model)
+        # +1 for the step encoding appended after pooling.
+        self.state_proj = Linear(config.d_model + 1, config.d_state, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(self, plans: Sequence[EncodedPlan], steps: np.ndarray) -> Tensor:
+        """Batch of encoded plans + step fractions -> (B, d_state)."""
+        ops = np.stack([p.ops for p in plans])
+        tables = np.stack([p.tables for p in plans])
+        jl = np.stack([p.join_left_col for p in plans])
+        jr = np.stack([p.join_right_col for p in plans])
+        fcols = np.stack([p.filter_cols for p in plans])
+        fops = np.stack([p.filter_ops for p in plans])
+        fvals = np.stack([p.filter_vals for p in plans])
+        heights = np.stack([p.heights for p in plans])
+        structs = np.stack([p.structs for p in plans])
+        attn = np.stack([p.attention_mask for p in plans])
+
+        node = self.op_embed(ops)                       # (B, N, d)
+        table = self.table_embed(tables)
+        join_cols = self.column_embed(jl) + self.column_embed(jr)
+        # filters: sum over slots of (col + op + value * direction)
+        fcol_emb = self.column_embed(fcols)             # (B, N, F, d)
+        fop_emb = self.pred_op_embed(fops)
+        val_term = Tensor(fvals[..., None]) * self.value_direction
+        filters = (fcol_emb + fop_emb + val_term).sum(axis=2)
+        height = self.height_embed(heights)
+        struct = self.struct_embed(structs)
+
+        x = F.concatenate([node, table, join_cols, filters, height, struct], axis=-1)
+        x = self.input_proj(x)
+        for layer in self.layers:
+            x = layer(x, mask=attn)
+        x = self.final_norm(x)
+        root = x[:, 0, :]  # pre-order encoding puts the plan root at index 0
+        steps = np.asarray(steps, dtype=np.float64).reshape(-1, 1)
+        pooled = F.concatenate([root, Tensor(steps)], axis=-1)
+        return self.state_proj(pooled)
+
+    def statevec(self, plan: EncodedPlan, step: float) -> np.ndarray:
+        """Inference-mode state representation for a single plan."""
+        with no_grad():
+            return self.forward([plan], np.array([step])).data[0]
+
+
+class AdvantageModel(Module):
+    """``theta_adv``: pairwise plan-advantage classifier (paper §IV-B)."""
+
+    def __init__(
+        self,
+        num_tables: int,
+        num_columns: int,
+        max_nodes: int,
+        config: Optional[AAMConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config if config is not None else AAMConfig()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.state_network = StateNetwork(num_tables, num_columns, max_nodes, self.config, rng)
+        d = self.config.d_state
+        self.position_embed = Embedding(2, d, rng=rng)  # 0 = left, 1 = right
+        self.fc1 = Linear(d, self.config.head_hidden, rng=rng)
+        self.fc2 = Linear(self.config.head_hidden, NUM_SCORES, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        left: Sequence[EncodedPlan],
+        left_steps: np.ndarray,
+        right: Sequence[EncodedPlan],
+        right_steps: np.ndarray,
+    ) -> Tensor:
+        """Logits of Adv(CP_l, CP_r) scores; shape (B, 3)."""
+        batch = len(left)
+        vec_l = self.state_network(left, left_steps)
+        vec_r = self.state_network(right, right_steps)
+        pos_l = self.position_embed(np.zeros(batch, dtype=np.int64))
+        pos_r = self.position_embed(np.ones(batch, dtype=np.int64))
+        hidden_l = self.fc1(vec_l + pos_l).relu()
+        hidden_r = self.fc1(vec_r + pos_r).relu()
+        return self.fc2(hidden_l - hidden_r)
+
+    def predict_scores(
+        self,
+        left: Sequence[EncodedPlan],
+        left_steps: np.ndarray,
+        right: Sequence[EncodedPlan],
+        right_steps: np.ndarray,
+    ) -> np.ndarray:
+        """Hard advantage scores in {0, 1, 2} (inference mode)."""
+        with no_grad():
+            logits = self.forward(left, left_steps, right, right_steps)
+        return np.argmax(logits.data, axis=-1)
+
+    def predict_score(self, left: EncodedPlan, left_step: float, right: EncodedPlan, right_step: float) -> int:
+        return int(
+            self.predict_scores([left], np.array([left_step]), [right], np.array([right_step]))[0]
+        )
+
+
+def asymmetric_loss(
+    logits: Tensor,
+    labels: np.ndarray,
+    gamma_positive: float,
+    gamma_negative: float,
+    label_smoothing: float,
+) -> Tensor:
+    """Asymmetric focal loss with label smoothing (paper §IV-C).
+
+    Hard examples (low probability on the true label, high on wrong ones)
+    are up-weighted by ``(1 - p_hat)^gamma``; negatives decay faster
+    (``gamma- > gamma+``) so the abundant score-0 samples do not dominate.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    batch, num_classes = logits.shape
+    log_probs = F.log_softmax(logits, axis=-1)
+    probs = log_probs.exp()
+
+    one_hot = np.zeros((batch, num_classes))
+    one_hot[np.arange(batch), labels] = 1.0
+    # p_hat: classification "easiness" per paper eq. (4).
+    p_hat = np.where(one_hot > 0, probs.data, 1.0 - probs.data)
+    gamma = np.where(one_hot > 0, gamma_positive, gamma_negative)
+    focal_weight = (1.0 - p_hat) ** gamma
+
+    epsilon = label_smoothing
+    smoothed = np.where(one_hot > 0, 1.0 - epsilon, epsilon / (num_classes - 1))
+
+    weights = Tensor(smoothed * focal_weight)
+    return -(weights * log_probs).sum() * (1.0 / batch)
+
+
+@dataclass
+class AAMSample:
+    """One training pair: (CP_l, CP_r) with its true advantage score."""
+
+    left: EncodedPlan
+    left_step: float
+    right: EncodedPlan
+    right_step: float
+    label: int
+
+
+class AAMTrainer:
+    """Supervised training of the AAM from execution-buffer pairs."""
+
+    def __init__(
+        self,
+        model: AdvantageModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.model = model
+        self.config = model.config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+
+    def train(self, samples: Sequence[AAMSample]) -> Dict[str, float]:
+        """Run the configured epochs over the sample set; returns metrics."""
+        if not samples:
+            return {"loss": 0.0, "accuracy": 0.0, "batches": 0}
+        cfg = self.config
+        total_loss = 0.0
+        batches = 0
+        for _ in range(cfg.epochs):
+            order = self.rng.permutation(len(samples))
+            for start in range(0, len(samples), cfg.minibatch_size):
+                chunk = [samples[i] for i in order[start : start + cfg.minibatch_size]]
+                loss = self._step(chunk)
+                total_loss += loss
+                batches += 1
+        return {
+            "loss": total_loss / max(batches, 1),
+            "accuracy": self.evaluate(samples),
+            "batches": batches,
+        }
+
+    def _step(self, chunk: Sequence[AAMSample]) -> float:
+        logits = self.model(
+            [s.left for s in chunk],
+            np.array([s.left_step for s in chunk]),
+            [s.right for s in chunk],
+            np.array([s.right_step for s in chunk]),
+        )
+        labels = np.array([s.label for s in chunk])
+        loss = asymmetric_loss(
+            logits,
+            labels,
+            gamma_positive=self.config.gamma_positive,
+            gamma_negative=self.config.gamma_negative,
+            label_smoothing=self.config.label_smoothing,
+        )
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def evaluate(self, samples: Sequence[AAMSample], batch_size: int = 128) -> float:
+        """Hard-label accuracy over a sample set."""
+        if not samples:
+            return 0.0
+        correct = 0
+        for start in range(0, len(samples), batch_size):
+            chunk = samples[start : start + batch_size]
+            predicted = self.model.predict_scores(
+                [s.left for s in chunk],
+                np.array([s.left_step for s in chunk]),
+                [s.right for s in chunk],
+                np.array([s.right_step for s in chunk]),
+            )
+            correct += int((predicted == np.array([s.label for s in chunk])).sum())
+        return correct / len(samples)

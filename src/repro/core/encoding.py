@@ -1,0 +1,218 @@
+"""QueryFormer-lite plan encoding (paper §IV-A).
+
+Per node we extract operator, table, join columns, and up to three filter
+predicates (column, op, normalized constant) — but *not* histograms or
+samples, which the paper drops for efficiency.  Structural features are the
+node height and a 4-way structure type (left / right / no-siblings / root).
+Tree structure enters the transformer through a *reachability* attention
+mask: node pairs may attend iff one is an ancestor of the other (or they
+are the same node); unreachable pairs get attention score ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import StatisticsCatalog
+from repro.optimizer.plans import JoinNode, PlanNode, ScanNode
+from repro.sql.ast import Query
+
+# Operator vocabulary (0 is reserved for padding).
+OP_PAD = 0
+OP_SEQ_SCAN = 1
+OP_INDEX_SCAN = 2
+OP_HASH_JOIN = 3
+OP_MERGE_JOIN = 4
+OP_NEST_LOOP = 5
+NUM_OPS = 6
+
+_JOIN_OP_IDS = {"hash": OP_HASH_JOIN, "merge": OP_MERGE_JOIN, "nestloop": OP_NEST_LOOP}
+
+# Predicate-operator vocabulary (0 = none).
+_PRED_OPS = {"=": 1, "<>": 2, "<": 3, "<=": 4, ">": 5, ">=": 6, "IN": 7, "BETWEEN": 8}
+NUM_PRED_OPS = 9
+
+# Structure types (paper: left, right, no-siblings, root).
+STRUCT_LEFT = 0
+STRUCT_RIGHT = 1
+STRUCT_NO_SIBLING = 2
+STRUCT_ROOT = 3
+NUM_STRUCT_TYPES = 4
+
+MAX_FILTERS_PER_NODE = 3
+
+
+@dataclass
+class EncodedPlan:
+    """Fixed-size arrays describing one plan (padded to ``max_nodes``)."""
+
+    ops: np.ndarray            # (N,) operator ids
+    tables: np.ndarray         # (N,) table ids (0 = none/join node)
+    join_left_col: np.ndarray  # (N,) column ids (0 = none)
+    join_right_col: np.ndarray
+    filter_cols: np.ndarray    # (N, F) column ids (0 = none)
+    filter_ops: np.ndarray     # (N, F) predicate-op ids (0 = none)
+    filter_vals: np.ndarray    # (N, F) normalized constants in [0, 1]
+    heights: np.ndarray        # (N,)
+    structs: np.ndarray        # (N,)
+    attention_mask: np.ndarray  # (N, N) bool; True = may attend
+    node_mask: np.ndarray      # (N,) bool; True = real node
+    num_nodes: int
+
+
+class PlanEncoder:
+    """Encodes complete plans for a fixed schema into :class:`EncodedPlan`.
+
+    Vocabulary sizes (tables, columns) come from the schema; constants are
+    min-max normalized with column statistics when available.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        max_nodes: int,
+        statistics: Optional[StatisticsCatalog] = None,
+    ) -> None:
+        self.schema = schema
+        self.max_nodes = max_nodes
+        self.statistics = statistics
+        # id 0 is the "none" sentinel for both vocabularies.
+        self._table_ids: Dict[str, int] = {
+            name: i + 1 for i, name in enumerate(schema.table_names)
+        }
+        self._column_ids: Dict[Tuple[str, str], int] = {}
+        for table_name in schema.table_names:
+            for column in schema.table(table_name).column_names:
+                self._column_ids[(table_name, column)] = len(self._column_ids) + 1
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._table_ids) + 1
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._column_ids) + 1
+
+    # ------------------------------------------------------------------
+    def encode(self, query: Query, plan: PlanNode) -> EncodedPlan:
+        """Encode one complete plan (padding to ``max_nodes``)."""
+        nodes: List[PlanNode] = []
+        parents: Dict[int, int] = {}
+        structs: Dict[int, int] = {}
+        self._collect(plan, nodes, parents, structs, parent_index=None, as_left=None)
+        n = len(nodes)
+        if n > self.max_nodes:
+            raise ValueError(f"plan has {n} nodes, encoder limit is {self.max_nodes}")
+
+        enc = EncodedPlan(
+            ops=np.zeros(self.max_nodes, dtype=np.int64),
+            tables=np.zeros(self.max_nodes, dtype=np.int64),
+            join_left_col=np.zeros(self.max_nodes, dtype=np.int64),
+            join_right_col=np.zeros(self.max_nodes, dtype=np.int64),
+            filter_cols=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.int64),
+            filter_ops=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.int64),
+            filter_vals=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.float64),
+            heights=np.zeros(self.max_nodes, dtype=np.int64),
+            structs=np.zeros(self.max_nodes, dtype=np.int64),
+            attention_mask=np.zeros((self.max_nodes, self.max_nodes), dtype=bool),
+            node_mask=np.zeros(self.max_nodes, dtype=bool),
+            num_nodes=n,
+        )
+        heights = self._heights(nodes)
+        for i, node in enumerate(nodes):
+            enc.node_mask[i] = True
+            enc.heights[i] = min(heights[i], self.max_nodes - 1)
+            enc.structs[i] = structs[i]
+            if isinstance(node, ScanNode):
+                enc.ops[i] = OP_INDEX_SCAN if node.scan_type == "index" else OP_SEQ_SCAN
+                enc.tables[i] = self._table_ids[node.table]
+                for slot, predicate in enumerate(node.filters[:MAX_FILTERS_PER_NODE]):
+                    table = query.tables[predicate.column.alias]
+                    enc.filter_cols[i, slot] = self._column_ids[(table, predicate.column.column)]
+                    enc.filter_ops[i, slot] = _PRED_OPS[predicate.op]
+                    enc.filter_vals[i, slot] = self._normalize(table, predicate.column.column, predicate.values[0])
+            else:
+                assert isinstance(node, JoinNode)
+                enc.ops[i] = _JOIN_OP_IDS[node.method]
+                if node.predicates:
+                    predicate = node.predicates[0]
+                    left_table = query.tables[predicate.left.alias]
+                    right_table = query.tables[predicate.right.alias]
+                    enc.join_left_col[i] = self._column_ids[(left_table, predicate.left.column)]
+                    enc.join_right_col[i] = self._column_ids[(right_table, predicate.right.column)]
+
+        reach = self._reachability(parents, n)
+        enc.attention_mask[:n, :n] = reach
+        # Padding nodes attend only to themselves (keeps softmax well-defined).
+        for i in range(n, self.max_nodes):
+            enc.attention_mask[i, i] = True
+        return enc
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        node: PlanNode,
+        nodes: List[PlanNode],
+        parents: Dict[int, int],
+        structs: Dict[int, int],
+        parent_index: Optional[int],
+        as_left: Optional[bool],
+    ) -> int:
+        """Pre-order walk recording parent links and structure types."""
+        index = len(nodes)
+        nodes.append(node)
+        if parent_index is None:
+            structs[index] = STRUCT_ROOT
+        elif as_left is None:
+            structs[index] = STRUCT_NO_SIBLING
+        else:
+            structs[index] = STRUCT_LEFT if as_left else STRUCT_RIGHT
+        if parent_index is not None:
+            parents[index] = parent_index
+        if isinstance(node, JoinNode):
+            self._collect(node.left, nodes, parents, structs, index, as_left=True)
+            self._collect(node.right, nodes, parents, structs, index, as_left=False)
+        return index
+
+    @staticmethod
+    def _heights(nodes: List[PlanNode]) -> List[int]:
+        """Height = longest downward path to a leaf, per node."""
+        heights: Dict[int, int] = {}
+
+        def height_of(node: PlanNode) -> int:
+            key = id(node)
+            if key in heights:
+                return heights[key]
+            if isinstance(node, JoinNode):
+                value = 1 + max(height_of(node.left), height_of(node.right))
+            else:
+                value = 0
+            heights[key] = value
+            return value
+
+        return [height_of(node) for node in nodes]
+
+    @staticmethod
+    def _reachability(parents: Dict[int, int], n: int) -> np.ndarray:
+        """True where i is an ancestor/descendant of j (or i == j)."""
+        reach = np.eye(n, dtype=bool)
+        # ancestors[i] = chain of parents up to the root
+        for i in range(n):
+            j = i
+            while j in parents:
+                j = parents[j]
+                reach[i, j] = True
+                reach[j, i] = True
+        return reach
+
+    def _normalize(self, table: str, column: str, value: float) -> float:
+        if self.statistics is None or table not in self.statistics:
+            return 1.0 / (1.0 + abs(value))
+        stats = self.statistics.table(table).column(column)
+        if stats is None or stats.max_value <= stats.min_value:
+            return 0.5
+        return float(np.clip((value - stats.min_value) / (stats.max_value - stats.min_value), 0.0, 1.0))

@@ -1,0 +1,120 @@
+"""The deployed FOSS optimizer (paper Fig. 1, inference path).
+
+For a query: the expert produces the original plan; each agent's policy
+generates a candidate sequence by editing the ICP step by step; the AAM
+selects the estimated-optimal plan by comparing candidates in temporal
+order (and, with multiple agents, tournaments the per-agent winners).
+Optimization time covers expert planning + model inference + plan
+completion — but no execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aam import AdvantageModel
+from repro.core.encoding import PlanEncoder
+from repro.core.icp import IncompletePlan
+from repro.core.planner import Planner
+from repro.core.simenv import EpisodeContext
+from repro.engine.database import Database
+from repro.optimizer.plans import PlanNode
+from repro.sql.ast import Query
+
+
+@dataclass
+class OptimizedPlan:
+    """FOSS's output for one query."""
+
+    plan: PlanNode
+    optimization_ms: float
+    candidates_considered: int
+    chosen_step: int
+
+
+class _InferenceEnvironment:
+    """A scoring-only environment: AAM advantages, no execution, no rewards.
+
+    ``begin_episode`` must not execute anything (optimization time excludes
+    execution), so the context carries a dummy latency.
+    """
+
+    def __init__(self, database: Database, aam: AdvantageModel, encoder: PlanEncoder, max_steps: int) -> None:
+        self.database = database
+        self.aam = aam
+        self.encoder = encoder
+        self.max_steps = max_steps
+
+    def begin_episode(self, query: Query) -> EpisodeContext:
+        planning = self.database.plan(query)
+        return EpisodeContext(
+            query=query,
+            original_plan=planning.plan,
+            original_icp=IncompletePlan.extract(planning.plan),
+            original_latency=1.0,
+            timeout_ms=float("inf"),
+        )
+
+    def advantage(self, ctx, left_plan, left_step, right_plan, right_step) -> int:
+        return self.aam.predict_score(
+            self.encoder.encode(ctx.query, left_plan),
+            left_step / self.max_steps,
+            self.encoder.encode(ctx.query, right_plan),
+            right_step / self.max_steps,
+        )
+
+    def episode_bounty(self, ctx, final_plan, final_step) -> float:
+        return 0.0
+
+    def observe_plan(self, ctx, icp, plan, step) -> None:
+        return None
+
+
+class FossOptimizer:
+    """FOSS as a drop-in optimizer: ``optimize(query) -> plan``."""
+
+    def __init__(
+        self,
+        database: Database,
+        planners: Sequence[Planner],
+        aam: AdvantageModel,
+        encoder: PlanEncoder,
+        max_steps: int,
+    ) -> None:
+        if not planners:
+            raise ValueError("FOSS needs at least one planner agent")
+        self.database = database
+        self.planners = list(planners)
+        self.aam = aam
+        self.encoder = encoder
+        self.max_steps = max_steps
+        self._environment = _InferenceEnvironment(database, aam, encoder, max_steps)
+
+    # ------------------------------------------------------------------
+    def optimize(self, query: Query) -> OptimizedPlan:
+        """Produce the estimated-optimal plan for the query."""
+        start = time.perf_counter()
+        finalists: List[Tuple[PlanNode, int]] = []
+        num_candidates = 0
+        for planner in self.planners:
+            episode = planner.run_episode(self._environment, query, deterministic=True)
+            finalists.append((episode.best_plan, episode.best_step))
+            num_candidates += len(episode.candidates)
+        best_plan, best_step = finalists[0]
+        for plan, step in finalists[1:]:
+            score = self._environment.advantage(
+                self._environment.begin_episode(query), best_plan, best_step, plan, step
+            )
+            if score > 0:
+                best_plan, best_step = plan, step
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return OptimizedPlan(
+            plan=best_plan,
+            optimization_ms=elapsed_ms,
+            candidates_considered=num_candidates,
+            chosen_step=best_step,
+        )

@@ -1,0 +1,192 @@
+"""The FOSS planner: DRL over plan-edit sequences (paper §III, Algorithm 1).
+
+An episode starts from the expert optimizer's plan, applies up to
+``max_steps`` Swap/Override actions (each completed back into an executable
+plan by ``Γp(Q, ICP)``), and rewards each step with bounty + penalty.  The
+agent is a masked-categorical PPO policy over the AAM state network's
+``statevec`` representations; the state network itself is trained by the
+AAM's supervised loop and treated as a (periodically refreshed) feature
+extractor here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.actions import ActionSpace, SwapAction
+from repro.core.aam import AdvantageModel
+from repro.core.encoding import PlanEncoder
+from repro.core.icp import IncompletePlan, minsteps
+from repro.core.reward import AdvantageFunction, RewardConfig
+from repro.core.simenv import EpisodeContext
+from repro.engine.database import Database
+from repro.optimizer.plans import PlanNode, plan_signature
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.sql.ast import Query
+
+
+@dataclass
+class PlannerConfig:
+    """Planner hyper-parameters (paper defaults: maxsteps=3, eta=12, gamma=2)."""
+
+    max_steps: int = 3
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    hidden_sizes: Tuple[int, ...] = (128, 128)
+
+
+@dataclass
+class CandidatePlan:
+    """A plan generated during an episode, with its step index."""
+
+    plan: PlanNode
+    icp: IncompletePlan
+    step: int
+
+
+@dataclass
+class Episode:
+    """Everything one episode produced."""
+
+    query: Query
+    context: EpisodeContext
+    candidates: List[CandidatePlan]
+    best_plan: PlanNode
+    best_step: int
+    transitions: List[Transition]
+    total_reward: float
+
+
+class Planner:
+    """Runs episodes (Algorithm 1) and PPO updates for one workload."""
+
+    def __init__(
+        self,
+        database: Database,
+        encoder: PlanEncoder,
+        action_space: ActionSpace,
+        aam: AdvantageModel,
+        config: Optional[PlannerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.database = database
+        self.encoder = encoder
+        self.action_space = action_space
+        self.aam = aam
+        self.config = config if config is not None else PlannerConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.advantage_fn = AdvantageFunction(self.config.reward)
+        self.policy = ActorCritic(
+            state_dim=aam.config.d_state,
+            num_actions=action_space.size,
+            hidden_sizes=self.config.hidden_sizes,
+            rng=self.rng,
+        )
+        self.ppo = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
+        # statevec cache, invalidated when the AAM retrains.
+        self._statevec_cache: Dict[Tuple[int, str, str, int], np.ndarray] = {}
+        self._aam_version = 0
+
+    # ------------------------------------------------------------------
+    def notify_aam_updated(self) -> None:
+        """Invalidate cached state representations after AAM training."""
+        self._aam_version += 1
+        self._statevec_cache.clear()
+
+    def statevec(self, query: Query, plan: PlanNode, step: int) -> np.ndarray:
+        key = (self._aam_version, query.signature(), plan_signature(plan), step)
+        cached = self._statevec_cache.get(key)
+        if cached is None:
+            encoded = self.encoder.encode(query, plan)
+            cached = self.aam.state_network.statevec(encoded, step / self.config.max_steps)
+            self._statevec_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def run_episode(
+        self,
+        environment,
+        query: Query,
+        deterministic: bool = False,
+    ) -> Episode:
+        """One episode of Algorithm 1 against the given environment."""
+        cfg = self.config
+        ctx = environment.begin_episode(query)
+        icp = ctx.original_icp
+        plan = ctx.original_plan
+        seen = {icp.signature()}
+        best_plan, best_step = plan, 0
+        candidates = [CandidatePlan(plan=plan, icp=icp, step=0)]
+        transitions: List[Transition] = []
+        total_reward = 0.0
+        last_swap: Optional[SwapAction] = None
+
+        if icp.num_tables < 2:
+            return Episode(query, ctx, candidates, best_plan, best_step, transitions, 0.0)
+
+        for t in range(1, cfg.max_steps + 1):
+            if last_swap is not None:
+                mask = self.action_space.post_swap_mask(icp, last_swap)
+            else:
+                mask = self.action_space.legality_mask(icp)
+            state = self.statevec(query, plan, t - 1)
+            action_id, log_prob, value = self.policy.act(state, mask, self.rng, deterministic)
+            action = self.action_space.decode(action_id)
+            last_swap = action if isinstance(action, SwapAction) else None
+
+            new_icp = self.action_space.apply(action_id, icp)
+            new_plan = self.database.plan_with_hints(query, new_icp.order, new_icp.methods).plan
+
+            reward = self.advantage_fn.penalty(minsteps(ctx.original_icp, new_icp), t)
+            advantage_score = environment.advantage(ctx, best_plan, best_step, new_plan, t)
+            is_new = new_icp.signature() not in seen
+            if is_new:
+                seen.add(new_icp.signature())
+                reward += advantage_score
+                environment.observe_plan(ctx, new_icp, new_plan, t)
+                candidates.append(CandidatePlan(plan=new_plan, icp=new_icp, step=t))
+            if advantage_score > 0:
+                best_plan, best_step = new_plan, t
+            if t == cfg.max_steps and is_new:
+                bounty = environment.episode_bounty(ctx, best_plan, best_step)
+                reward += cfg.reward.eta * bounty
+
+            transitions.append(
+                Transition(
+                    state=state,
+                    action=action_id,
+                    reward=reward,
+                    done=t == cfg.max_steps,
+                    value=value,
+                    log_prob=log_prob,
+                    action_mask=mask,
+                )
+            )
+            total_reward += reward
+            icp, plan = new_icp, new_plan
+
+        return Episode(
+            query=query,
+            context=ctx,
+            candidates=candidates,
+            best_plan=best_plan,
+            best_step=best_step,
+            transitions=transitions,
+            total_reward=total_reward,
+        )
+
+    # ------------------------------------------------------------------
+    def update_from_episodes(self, episodes: List[Episode]) -> Dict[str, float]:
+        """One PPO update over collected episode transitions."""
+        buffer = self.ppo.make_buffer()
+        for episode in episodes:
+            for transition in episode.transitions:
+                buffer.add(transition)
+        if len(buffer) == 0:
+            return {"updates": 0}
+        return self.ppo.update(buffer.finalize())

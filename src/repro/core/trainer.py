@@ -1,0 +1,262 @@
+"""The FOSS training loop (paper Fig. 3 and §V-B).
+
+One training iteration:
+
+1. sample queries from the training workload and run planner episodes in
+   the **simulated environment** (AAM rewards, no execution), collecting
+   simulated experiences for a PPO update;
+2. **validate promising plans**: plans the AAM scored above the original
+   are executed in the real environment under the dynamic timeout and
+   pushed into the execution buffer;
+3. **random sampling**: a few queries are periodically explored in the real
+   environment to diversify the buffer;
+4. when enough new executions accumulated, the AAM is **retrained** from
+   the buffer and all statevec/score caches are invalidated.
+
+Ablation switches reproduce Table II: ``use_simulated`` (Off-Simulated runs
+every episode in the real environment), ``use_penalty`` (Off-Penalty),
+``use_validation`` (Off-Validation), and ``num_agents`` (2-Agents).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aam import AAMConfig, AAMTrainer, AdvantageModel
+from repro.core.actions import ActionSpace
+from repro.core.buffer import ExecutionBuffer
+from repro.core.encoding import PlanEncoder
+from repro.core.planner import Episode, Planner, PlannerConfig
+from repro.core.reward import AdvantageFunction, RewardConfig
+from repro.core.simenv import RealEnvironment, SimulatedEnvironment
+from repro.engine.database import Database
+from repro.rl.ppo import PPOConfig
+from repro.sql.ast import Query
+from repro.workloads.base import Workload, WorkloadQuery
+
+
+@dataclass
+class FossConfig:
+    """End-to-end training configuration."""
+
+    max_steps: int = 3
+    episodes_per_update: int = 900
+    bootstrap_episodes: int = 60
+    aam_retrain_threshold: int = 120   # new executions before AAM retrains
+    random_sample_episodes: int = 10   # real-env episodes per iteration
+    validation_budget: int = 200      # promising plans executed per iteration
+    num_agents: int = 1
+    use_simulated: bool = True
+    use_penalty: bool = True
+    use_validation: bool = True
+    seed: int = 7
+    aam: AAMConfig = field(default_factory=AAMConfig)
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def __post_init__(self) -> None:
+        self.planner.max_steps = self.max_steps
+        if not self.use_penalty:
+            self.planner.reward = replace(self.planner.reward, penalty_gamma=0.0)
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics from one training iteration."""
+
+    iteration: int
+    episodes: int
+    executions: int
+    aam_trained: bool
+    aam_accuracy: float
+    mean_reward: float
+    elapsed_s: float
+
+
+class FossTrainer:
+    """Owns every FOSS component and runs the training loop."""
+
+    def __init__(self, workload: Workload, config: Optional[FossConfig] = None) -> None:
+        self.workload = workload
+        self.database = workload.database
+        self.config = config if config is not None else FossConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        max_nodes = 2 * max(workload.max_query_tables, 2)
+        self.encoder = PlanEncoder(
+            workload.dataset.schema, max_nodes=max_nodes, statistics=self.database.statistics
+        )
+        self.action_space = ActionSpace(max_tables=workload.max_query_tables)
+        self.aam = AdvantageModel(
+            num_tables=self.encoder.num_tables,
+            num_columns=self.encoder.num_columns,
+            max_nodes=max_nodes,
+            config=self.config.aam,
+            rng=self.rng,
+        )
+        self.aam_trainer = AAMTrainer(self.aam, rng=self.rng)
+        self.buffer = ExecutionBuffer()
+        self.advantage_fn = AdvantageFunction(self.config.planner.reward)
+
+        self.planners: List[Planner] = []
+        for agent_index in range(self.config.num_agents):
+            planner_config = self._agent_config(agent_index)
+            agent_rng = np.random.default_rng(self.config.seed + 1000 * (agent_index + 1))
+            self.planners.append(
+                Planner(
+                    self.database,
+                    self.encoder,
+                    self.action_space,
+                    self.aam,
+                    config=planner_config,
+                    rng=agent_rng,
+                )
+            )
+
+        self.real_env = RealEnvironment(self.database, self.buffer, self.advantage_fn)
+        self.sim_env = SimulatedEnvironment(
+            self.database,
+            self.buffer,
+            self.aam,
+            self.encoder,
+            max_steps=self.config.max_steps,
+            advantage=self.advantage_fn,
+        )
+        self._last_aam_training_at = 0
+        self.aam_accuracy = 0.0
+        self.history: List[IterationStats] = []
+        self.training_wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    def _agent_config(self, agent_index: int) -> PlannerConfig:
+        """Multi-agent mode diversifies agent strategies (paper §VI-C5)."""
+        base = self.config.planner
+        if agent_index == 0:
+            return base
+        ppo = replace(
+            base.ppo,
+            lr=base.ppo.lr * (0.5 if agent_index % 2 else 2.0),
+            gamma=max(0.90, base.ppo.gamma - 0.04 * agent_index),
+        )
+        return replace(base, ppo=ppo)
+
+    def _sample_queries(self, count: int) -> List[WorkloadQuery]:
+        train = self.workload.train
+        picks = self.rng.integers(0, len(train), size=count)
+        return [train[int(i)] for i in picks]
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> Dict[str, float]:
+        """Seed the execution buffer with a randomly-initialized planner.
+
+        Fig. 3: before the first AAM training, candidate plans from the
+        (random) planner are executed to form the initial training pool.
+        """
+        for planner in self.planners:
+            episodes = self.config.bootstrap_episodes // max(len(self.planners), 1)
+            for wq in self._sample_queries(max(episodes, 1)):
+                planner.run_episode(self.real_env, wq.query)
+        return self.train_aam()
+
+    def train_aam(self) -> Dict[str, float]:
+        """Rebuild the AAM training pairs from the buffer and retrain."""
+        samples = self.buffer.make_aam_samples(
+            self.encoder,
+            self.advantage_fn,
+            max_steps=self.config.max_steps,
+            rng=self.rng,
+        )
+        metrics = self.aam_trainer.train(samples)
+        self.aam_accuracy = metrics["accuracy"]
+        self._last_aam_training_at = self.buffer.total_added
+        self.sim_env.bump_aam_version()
+        for planner in self.planners:
+            planner.notify_aam_updated()
+        return metrics
+
+    def run_iteration(self, iteration: int) -> IterationStats:
+        """One full training iteration (Fig. 3)."""
+        start = time.perf_counter()
+        executions_before = self.buffer.total_added
+        environment = self.sim_env if self.config.use_simulated else self.real_env
+
+        episodes: List[Episode] = []
+        per_agent = self.config.episodes_per_update // len(self.planners)
+        rewards: List[float] = []
+        for planner in self.planners:
+            agent_episodes = [
+                planner.run_episode(environment, wq.query)
+                for wq in self._sample_queries(per_agent)
+            ]
+            planner.update_from_episodes(agent_episodes)
+            episodes.extend(agent_episodes)
+            rewards.extend(e.total_reward for e in agent_episodes)
+
+        # Promising-plan validation (§VI-C4).
+        if self.config.use_simulated and self.config.use_validation:
+            queue = self.sim_env.drain_validation_queue()
+            for query, plan, step in queue[: self.config.validation_budget]:
+                original = self.database.original_latency(query)
+                result = self.database.execute(query, plan, timeout_ms=1.5 * original)
+                self.buffer.add(query, plan, step, result.latency_ms, result.timed_out)
+        elif self.config.use_simulated:
+            self.sim_env.drain_validation_queue()  # Off-Validation: discard
+
+        # Periodic random sampling in the real environment.
+        if self.config.use_simulated:
+            for wq in self._sample_queries(self.config.random_sample_episodes):
+                self.planners[iteration % len(self.planners)].run_episode(self.real_env, wq.query)
+
+        # AAM retraining cadence.
+        aam_trained = False
+        if self.buffer.total_added - self._last_aam_training_at >= self.config.aam_retrain_threshold:
+            self.train_aam()
+            aam_trained = True
+
+        elapsed = time.perf_counter() - start
+        self.training_wall_s += elapsed
+        stats = IterationStats(
+            iteration=iteration,
+            episodes=len(episodes),
+            executions=self.buffer.total_added - executions_before,
+            aam_trained=aam_trained,
+            aam_accuracy=self.aam_accuracy,
+            mean_reward=float(np.mean(rewards)) if rewards else 0.0,
+            elapsed_s=elapsed,
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(self, iterations: int, verbose: bool = False) -> List[IterationStats]:
+        """Bootstrap (if needed) and run the given number of iterations."""
+        if self.buffer.num_records() == 0:
+            self.bootstrap()
+        stats = []
+        for iteration in range(iterations):
+            result = self.run_iteration(iteration)
+            if verbose:
+                print(
+                    f"[iter {iteration}] episodes={result.episodes} "
+                    f"exec+={result.executions} aam_acc={result.aam_accuracy:.2f} "
+                    f"reward={result.mean_reward:.2f} ({result.elapsed_s:.1f}s)"
+                )
+            stats.append(result)
+        return stats
+
+    # ------------------------------------------------------------------
+    def make_optimizer(self):
+        """The deployable FOSS optimizer using the trained components."""
+        from repro.core.inference import FossOptimizer
+
+        return FossOptimizer(
+            database=self.database,
+            planners=self.planners,
+            aam=self.aam,
+            encoder=self.encoder,
+            max_steps=self.config.max_steps,
+        )

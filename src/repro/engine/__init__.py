@@ -1,0 +1,5 @@
+"""The expert engine facade — this reproduction's stand-in for PostgreSQL."""
+
+from repro.engine.database import Database, Dataset, PlanningResult
+
+__all__ = ["Database", "Dataset", "PlanningResult"]

@@ -1,0 +1,203 @@
+"""The expert engine: optimizer + executor behind one facade.
+
+:class:`Database` plays PostgreSQL's role from the paper: it produces the
+original plan (``Γp(Q, /)``), completes hinted incomplete plans
+(``Γp(Q, ICP)``, via the `pg_hint_plan` equivalent), and executes plans with
+the dynamic-timeout mechanism (``Ψp``).
+
+Because virtual-time execution is deterministic, executed latencies are
+cached by (query, plan) signature; a cached latency above a requested
+timeout is reported as a timeout without re-running, mirroring how the
+paper's training loop avoids re-executing known plans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import StatisticsCatalog
+from repro.executor.engine import ExecutionEngine, ExecutionResult
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, CostParameters, runtime_cost_parameters
+from repro.optimizer.dp import OptimizerOptions, PlanEnumerator
+from repro.optimizer.hints import HintedPlanBuilder
+from repro.optimizer.plans import PlanNode, explain, plan_signature
+from repro.sql.ast import Query
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+from repro.storage.database import StorageDatabase
+from repro.storage.table import Table
+
+# Executions are always run under this internal cap so that catastrophic
+# plans cannot consume unbounded real compute; latencies at the cap are
+# treated as "at least this much".
+HARD_CAP_MS = 15_000.0
+
+
+@dataclass
+class Dataset:
+    """A generated benchmark database: schema + loaded storage."""
+
+    name: str
+    schema: Schema
+    storage: StorageDatabase
+
+
+@dataclass
+class PlanningResult:
+    """A plan plus the wall-clock time the optimizer spent producing it."""
+
+    plan: PlanNode
+    planning_ms: float
+
+
+@dataclass
+class _CachedLatency:
+    latency_ms: float
+    output_rows: int
+    capped: bool
+    cap_ms: float = HARD_CAP_MS
+    aggregate_values: Tuple[float, ...] = ()
+
+
+class Database:
+    """Expert engine over a generated dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        planner_cost_params: Optional[CostParameters] = None,
+        runtime_cost_params: Optional[CostParameters] = None,
+        analyze_sample_rows: int = 2_000,
+        analyze_seed: int = 31,
+    ) -> None:
+        self.dataset = dataset
+        self.schema = dataset.schema
+        self.storage = dataset.storage
+        # The optimizer costs plans with the (miscalibrated) planner
+        # defaults; the executor charges the true runtime parameters.  See
+        # runtime_cost_parameters() for why they differ.
+        self.cost_model = CostModel(planner_cost_params)
+        self.runtime_cost_model = CostModel(
+            runtime_cost_params if runtime_cost_params is not None else runtime_cost_parameters()
+        )
+        self.statistics = StatisticsCatalog.analyze(
+            self.storage, sample_rows=analyze_sample_rows, seed=analyze_seed
+        )
+        self.estimator = CardinalityEstimator(self.statistics)
+        self.enumerator = PlanEnumerator(self.estimator, self.cost_model, self.storage.has_index)
+        self.hint_builder = HintedPlanBuilder(self.enumerator)
+        self.executor = ExecutionEngine(self.storage, self.runtime_cost_model)
+        self._plan_cache: Dict[str, PlanningResult] = {}
+        self._latency_cache: Dict[Tuple[str, str], _CachedLatency] = {}
+        self.executions = 0  # real-environment execution counter (cache misses)
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+    def sql(self, text: str, name: str = "") -> Query:
+        """Parse + bind SQL text against this database."""
+        return bind_query(parse_query(text), self.schema, self.storage, name=name)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+        """``Γp(Q, /)``: the expert optimizer's plan for the query.
+
+        Unoptioned plans are cached per query signature (the expert is
+        deterministic); the cached wall time is the first run's.
+        """
+        key = query.signature() if options is None else f"{query.signature()}@{options.signature()}"
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        plan = self.enumerator.optimize(query, options)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        result = PlanningResult(plan=plan, planning_ms=elapsed_ms)
+        self._plan_cache[key] = result
+        return result
+
+    def plan_with_hints(
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+    ) -> PlanningResult:
+        """``Γp(Q, ICP)``: complete an incomplete plan into an executable one."""
+        start = time.perf_counter()
+        plan = self.hint_builder.build(query, join_order, join_methods)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return PlanningResult(plan=plan, planning_ms=elapsed_ms)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        plan: PlanNode,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> ExecutionResult:
+        """``Ψp``: execute the plan, honouring the dynamic timeout.
+
+        Deterministic virtual time lets results be cached; a cached latency
+        above ``timeout_ms`` is reported as a timeout.
+        """
+        key = (query.signature(), plan_signature(plan))
+        cached = self._latency_cache.get(key) if use_cache else None
+        internal_cap = min(HARD_CAP_MS, timeout_ms) if timeout_ms is not None else HARD_CAP_MS
+
+        # A cached entry is reusable if it finished (not capped) or if it was
+        # capped at or above the cap we would use now.
+        reusable = cached is not None and (not cached.capped or cached.cap_ms >= internal_cap)
+        if not reusable:
+            raw = self.executor.execute(query, plan, timeout_ms=internal_cap)
+            self.executions += 1
+            cached = _CachedLatency(
+                latency_ms=raw.latency_ms if not raw.timed_out else internal_cap,
+                output_rows=raw.output_rows,
+                capped=raw.timed_out,
+                cap_ms=internal_cap,
+                aggregate_values=raw.aggregate_values,
+            )
+            if use_cache:
+                self._latency_cache[key] = cached
+
+        if timeout_ms is not None and cached.latency_ms >= timeout_ms:
+            return ExecutionResult(
+                latency_ms=timeout_ms, output_rows=0, timed_out=True, work_units=0.0
+            )
+        return ExecutionResult(
+            latency_ms=cached.latency_ms,
+            output_rows=cached.output_rows,
+            timed_out=cached.capped,
+            work_units=cached.latency_ms * self.runtime_cost_model.params.work_units_per_ms,
+            aggregate_values=cached.aggregate_values,
+        )
+
+    def original_latency(self, query: Query) -> float:
+        """Latency of the expert's own plan (cached)."""
+        planning = self.plan(query)
+        return self.execute(query, planning.plan).latency_ms
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(self, plan: PlanNode) -> str:
+        return explain(plan)
+
+    def clear_caches(self) -> None:
+        self._plan_cache.clear()
+        self._latency_cache.clear()
+
+    def clear_plan_cache(self) -> None:
+        """Drop cached plans only (latencies stay; used for timing studies)."""
+        self._plan_cache.clear()

@@ -1,0 +1,61 @@
+"""Vectorized equi-join primitives."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def join_pairs(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    max_output: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All index pairs (i, j) with ``left_keys[i] == right_keys[j]``.
+
+    Sort-merge based: O((n+m) log) regardless of skew.  If ``max_output`` is
+    given and the (pre-computed) match count exceeds it, raises
+    :class:`JoinOverflow` *before* materializing — the executor converts this
+    into a timeout.
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    right_order = np.argsort(right_keys, kind="stable")
+    right_sorted = right_keys[right_order]
+    lo = np.searchsorted(right_sorted, left_keys, side="left")
+    hi = np.searchsorted(right_sorted, left_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if max_output is not None and total > max_output:
+        raise JoinOverflow(total)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    left_idx = np.repeat(np.arange(len(left_keys)), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    positions = np.arange(total) - np.repeat(offsets[:-1], counts) + np.repeat(lo, counts)
+    right_idx = right_order[positions]
+    return left_idx, right_idx
+
+
+def count_join_output(left_keys: np.ndarray, right_keys: np.ndarray) -> int:
+    """Exact join output size without materializing the pairs."""
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return 0
+    right_sorted = np.sort(right_keys, kind="stable")
+    lo = np.searchsorted(right_sorted, left_keys, side="left")
+    hi = np.searchsorted(right_sorted, left_keys, side="right")
+    return int((hi - lo).sum())
+
+
+class JoinOverflow(RuntimeError):
+    """Join output exceeded the materialization cap."""
+
+    def __init__(self, count: int) -> None:
+        super().__init__(f"join output of {count} rows exceeds materialization cap")
+        self.count = count

@@ -1,0 +1,48 @@
+"""The paper's evaluation metrics: GMRL and WRL (§VI-A).
+
+* ``GMRL = geomean_q( ET_l(q) / ET_e(q) )`` — per-query optimization
+  effectiveness (execution latency of the learned optimizer over the
+  expert's);
+* ``WRL = sum_q(ET_l + OT_l) / sum_q(ET_e + OT_e)`` — total workload
+  latency including optimization time.
+
+Below 1.0 beats the expert; above 1.0 loses to it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def geometric_mean_relevant_latency(
+    learned_latencies: Sequence[float],
+    expert_latencies: Sequence[float],
+    floor_ms: float = 1e-3,
+) -> float:
+    """GMRL over a workload; latencies are clamped at ``floor_ms``."""
+    learned = np.maximum(np.asarray(learned_latencies, dtype=np.float64), floor_ms)
+    expert = np.maximum(np.asarray(expert_latencies, dtype=np.float64), floor_ms)
+    if learned.shape != expert.shape or learned.size == 0:
+        raise ValueError("latency arrays must be equal-length and non-empty")
+    return float(np.exp(np.mean(np.log(learned / expert))))
+
+
+def workload_relevant_latency(
+    learned_latencies: Sequence[float],
+    expert_latencies: Sequence[float],
+    learned_optimization: Sequence[float],
+    expert_optimization: Sequence[float],
+) -> float:
+    """WRL over a workload (includes optimization time)."""
+    learned = np.asarray(learned_latencies, dtype=np.float64)
+    expert = np.asarray(expert_latencies, dtype=np.float64)
+    learned_opt = np.asarray(learned_optimization, dtype=np.float64)
+    expert_opt = np.asarray(expert_optimization, dtype=np.float64)
+    if not (learned.shape == expert.shape == learned_opt.shape == expert_opt.shape):
+        raise ValueError("all arrays must be equal-length")
+    denominator = float((expert + expert_opt).sum())
+    if denominator <= 0:
+        raise ValueError("expert total latency must be positive")
+    return float((learned + learned_opt).sum() / denominator)

@@ -1,0 +1,53 @@
+"""A small numpy-based neural-network library with reverse-mode autograd.
+
+The offline reproduction environment has no PyTorch, so this package
+provides the minimal subset FOSS needs: a :class:`~repro.nn.tensor.Tensor`
+with reverse-mode automatic differentiation, the layers used by the
+QueryFormer-style state network (embeddings, linear layers, layer norm,
+multi-head attention), optimizers, and (de)serialization of parameters.
+
+The API deliberately mirrors PyTorch's so the FOSS code reads like the
+paper's original implementation would.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, tensor, zeros, ones, randn
+from repro.nn import functional
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "save_state_dict",
+    "load_state_dict",
+]

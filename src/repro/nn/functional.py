@@ -1,0 +1,84 @@
+"""Stateless differentiable functions built on :mod:`repro.nn.tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concatenate, stack, where  # re-exported
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "huber_loss",
+    "masked_softmax",
+    "concatenate",
+    "stack",
+    "where",
+    "entropy_from_logits",
+]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax with positions where ``mask`` is False forced to ~0 probability.
+
+    ``mask`` is a constant boolean array broadcastable to ``logits``.
+    """
+    neg = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
+    return softmax(logits + Tensor(neg), axis=axis)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood; ``targets`` are integer class ids."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits), targets)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Smooth-L1 loss, quadratic within ``delta`` and linear outside."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    abs_diff = diff.abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def entropy_from_logits(logits: Tensor, mask: Optional[np.ndarray] = None, axis: int = -1) -> Tensor:
+    """Mean entropy of the (optionally masked) categorical distributions."""
+    if mask is not None:
+        neg = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
+        logits = logits + Tensor(neg)
+    logp = log_softmax(logits, axis=axis)
+    p = logp.exp()
+    return -(p * logp).sum(axis=axis).mean()

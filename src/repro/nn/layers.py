@@ -1,0 +1,318 @@
+"""Neural-network layers: Module base class and the layers FOSS uses.
+
+The layer set mirrors what the paper's networks need: linear stacks for the
+action selector and AAM output head, embeddings for plan-node features, layer
+norm and multi-head attention (with an additive attention-mask) for the
+QueryFormer-style state network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.tensor import Tensor, concatenate
+from repro.nn.functional import softmax
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable; collected by :class:`Module`."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay trainable even if created under no_grad().
+        self.requires_grad = True
+
+
+class Module:
+    """Base class providing parameter registration and (de)serialization."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> List[Parameter]:
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine transform ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+        init_scheme: str = "xavier",
+        gain: float = 1.0,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        if init_scheme == "xavier":
+            weight = init.xavier_uniform((in_features, out_features), rng, gain=gain)
+        elif init_scheme == "orthogonal":
+            weight = init.orthogonal((in_features, out_features), rng, gain=gain)
+        elif init_scheme == "kaiming":
+            weight = init.kaiming_uniform((in_features, out_features), rng)
+        else:
+            raise ValueError(f"unknown init scheme: {init_scheme}")
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=0.05))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()} max={ids.max()}"
+            )
+        return self.weight[ids]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self._rng.random(x.shape) >= self.p).astype(np.float64)
+        return x * Tensor(keep / (1.0 - self.p))
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention with an additive boolean attention mask.
+
+    The FOSS state network masks attention between *unreachable* node pairs
+    of the plan tree (attention score forced to ~0), which is expressed here
+    by passing ``mask[i, j] = True`` for reachable pairs and False otherwise.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend over nodes.
+
+        ``x`` is (nodes, dim) or batched (batch, nodes, dim); ``mask`` is a
+        boolean (nodes, nodes) or (batch, nodes, nodes) array where True marks
+        pairs allowed to attend to each other.
+        """
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x.reshape(1, *x.shape)
+        b, n, _ = x.shape
+        # (b, n, dim) -> (b, heads, n, head_dim)
+        q = self.q_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
+        k = self.k_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
+        v = self.v_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
+        scores = (q @ k.transpose(-2, -1)) * (1.0 / math.sqrt(self.head_dim))
+        if mask is not None:
+            mask_arr = np.asarray(mask, dtype=bool)
+            if mask_arr.ndim == 2:
+                mask_arr = mask_arr[None, :, :]
+            additive = np.where(mask_arr, 0.0, -1e9)
+            scores = scores + Tensor(additive[:, None, :, :])
+        attn = softmax(scores, axis=-1)
+        context = attn @ v  # (b, heads, n, head_dim)
+        merged = context.transpose(1, 2).reshape(b, n, self.dim)
+        out = self.out_proj(merged)
+        if squeeze:
+            out = out.reshape(n, self.dim)
+        return out
+
+
+class FeedForward(Module):
+    """Transformer position-wise feed-forward block."""
+
+    def __init__(self, dim: int, hidden: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fc1 = Linear(dim, hidden, rng=rng, init_scheme="kaiming")
+        self.fc2 = Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block with maskable attention."""
+
+    def __init__(self, dim: int, num_heads: int, ff_hidden: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.ff = FeedForward(dim, ff_hidden, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask=mask)
+        x = x + self.ff(self.norm2(x))
+        return x
+
+
+def mlp(
+    sizes: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+    activation: str = "tanh",
+    out_gain: float = 1.0,
+) -> Sequential:
+    """Build a fully-connected stack; the idiomatic PPO body constructor."""
+    rng = rng if rng is not None else np.random.default_rng()
+    act = {"tanh": Tanh, "relu": ReLU}[activation]
+    layers: List[Module] = []
+    for i in range(len(sizes) - 1):
+        last = i == len(sizes) - 2
+        gain = out_gain if last else math.sqrt(2.0)
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng, init_scheme="orthogonal", gain=gain))
+        if not last:
+            layers.append(act())
+    return Sequential(*layers)

@@ -1,0 +1,23 @@
+"""Save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Persist a state dict; parent directories are created on demand."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}

@@ -1,0 +1,85 @@
+"""Hint-steered plan completion — the `pg_hint_plan` equivalent.
+
+Given an *incomplete plan* (a left-deep join order plus per-level join
+methods), build the complete executable plan: the expert optimizer supplies
+scan choices and cost/cardinality annotations, exactly as the paper
+describes (`Γp(Q, ICP) → CP`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.dp import PlanEnumerator
+from repro.optimizer.plans import JOIN_METHODS, JoinNode, PlanNode, ScanNode
+from repro.sql.ast import Query
+
+
+class HintError(ValueError):
+    """Raised when a hint does not describe a valid plan for the query."""
+
+
+class HintedPlanBuilder:
+    """Completes (join order, join methods) hints into physical plans."""
+
+    def __init__(self, enumerator: PlanEnumerator) -> None:
+        self.enumerator = enumerator
+        self.estimator = enumerator.estimator
+
+    def build(
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+    ) -> PlanNode:
+        """Construct the complete plan steered by the hint.
+
+        ``join_order`` lists leaf aliases left-to-right (the first two form
+        the deepest join); ``join_methods`` lists methods bottom-up and must
+        have ``len(join_order) - 1`` entries.
+        """
+        self._validate(query, join_order, join_methods)
+        scans = {alias: self.enumerator.best_scan(query, alias) for alias in join_order}
+        if len(join_order) == 1:
+            return scans[join_order[0]]
+
+        plan: PlanNode = scans[join_order[0]]
+        rows = plan.est_rows
+        prefix: List[str] = [join_order[0]]
+        for level, alias in enumerate(join_order[1:]):
+            method = join_methods[level]
+            scan = scans[alias]
+            predicates = tuple(query.joins_between(prefix, [alias]))
+            out_rows = self.estimator.join_rows(query, rows, scan.est_rows, predicates)
+            op_cost = self.enumerator.join_cost(query, method, rows, scan, out_rows, predicates)
+            plan = JoinNode(
+                left=plan,
+                right=scan,
+                method=method,
+                predicates=predicates,
+                est_rows=out_rows,
+                est_cost=plan.est_cost + scan.est_cost + op_cost,
+            )
+            rows = out_rows
+            prefix.append(alias)
+        return plan
+
+    def _validate(
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+    ) -> None:
+        if sorted(join_order) != sorted(query.aliases):
+            raise HintError(
+                f"hint order {list(join_order)} does not cover query aliases {query.aliases}"
+            )
+        if len(join_methods) != max(0, len(join_order) - 1):
+            raise HintError(
+                f"expected {len(join_order) - 1} join methods, got {len(join_methods)}"
+            )
+        for method in join_methods:
+            if method not in JOIN_METHODS:
+                raise HintError(f"unknown join method {method!r}")

@@ -1,0 +1,139 @@
+"""Physical plan trees.
+
+Plans are left-deep: a :class:`JoinNode`'s right child is always a
+:class:`ScanNode` (matching the paper's scope — PostgreSQL's and MySQL's
+default search space).  Nodes carry the optimizer's estimates so encoders
+and cost reporting can read them without re-deriving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sql.ast import FilterPredicate, JoinPredicate
+
+JOIN_METHODS: Tuple[str, ...] = ("hash", "merge", "nestloop")
+SCAN_TYPES: Tuple[str, ...] = ("seq", "index")
+
+
+@dataclass
+class PlanNode:
+    """Base physical node with optimizer annotations."""
+
+    est_rows: float = field(default=0.0, kw_only=True)
+    est_cost: float = field(default=0.0, kw_only=True)
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Access one base table through a sequential or index scan."""
+
+    alias: str
+    table: str
+    scan_type: str = "seq"
+    index_column: Optional[str] = None
+    filters: Tuple[FilterPredicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scan_type not in SCAN_TYPES:
+            raise ValueError(f"unknown scan type {self.scan_type!r}")
+        if self.scan_type == "index" and self.index_column is None:
+            raise ValueError("index scan requires index_column")
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Join a left subplan with a right base-table scan."""
+
+    left: PlanNode
+    right: PlanNode
+    method: str
+    predicates: Tuple[JoinPredicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.method not in JOIN_METHODS:
+            raise ValueError(f"unknown join method {self.method!r}")
+
+
+def plan_aliases(plan: PlanNode) -> List[str]:
+    """Leaf aliases in left-to-right order."""
+    if isinstance(plan, ScanNode):
+        return [plan.alias]
+    assert isinstance(plan, JoinNode)
+    return plan_aliases(plan.left) + plan_aliases(plan.right)
+
+
+def plan_join_methods(plan: PlanNode) -> List[str]:
+    """Join methods bottom-up (O1 first, root last) for a left-deep plan."""
+    methods: List[str] = []
+    node = plan
+    while isinstance(node, JoinNode):
+        methods.append(node.method)
+        node = node.left
+    return list(reversed(methods))
+
+
+def iter_nodes(plan: PlanNode) -> Iterator[PlanNode]:
+    """Post-order traversal of the plan tree."""
+    if isinstance(plan, JoinNode):
+        yield from iter_nodes(plan.left)
+        yield from iter_nodes(plan.right)
+    yield plan
+
+
+def plan_depth(plan: PlanNode) -> int:
+    if isinstance(plan, ScanNode):
+        return 1
+    assert isinstance(plan, JoinNode)
+    return 1 + max(plan_depth(plan.left), plan_depth(plan.right))
+
+
+def plan_signature(plan: PlanNode) -> str:
+    """A stable textual identity for caching executed latencies."""
+    if isinstance(plan, ScanNode):
+        filters = ",".join(sorted(str(f) for f in plan.filters))
+        return f"{plan.scan_type}({plan.alias}|{filters})"
+    assert isinstance(plan, JoinNode)
+    return f"{plan.method}({plan_signature(plan.left)},{plan_signature(plan.right)})"
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Human-readable EXPLAIN-style rendering."""
+    pad = "  " * indent
+    if isinstance(plan, ScanNode):
+        kind = "Index Scan" if plan.scan_type == "index" else "Seq Scan"
+        detail = f" using {plan.index_column}" if plan.scan_type == "index" else ""
+        filters = f" filter: {' AND '.join(str(f) for f in plan.filters)}" if plan.filters else ""
+        return (
+            f"{pad}{kind} on {plan.table} {plan.alias}{detail}"
+            f" (rows={plan.est_rows:.0f} cost={plan.est_cost:.0f}){filters}"
+        )
+    assert isinstance(plan, JoinNode)
+    label = {"hash": "Hash Join", "merge": "Merge Join", "nestloop": "Nested Loop"}[plan.method]
+    conds = " AND ".join(str(p) for p in plan.predicates) or "<cross>"
+    lines = [
+        f"{pad}{label} on {conds} (rows={plan.est_rows:.0f} cost={plan.est_cost:.0f})",
+        explain(plan.left, indent + 1),
+        explain(plan.right, indent + 1),
+    ]
+    return "\n".join(lines)
+
+
+def replace_join_method(plan: PlanNode, level: int, method: str) -> PlanNode:
+    """Return a copy of a left-deep plan with join ``level`` (0-based,
+    bottom-up) using ``method``; estimates are preserved structurally and
+    should be re-derived by the caller if needed."""
+    joins: List[JoinNode] = []
+    node = plan
+    while isinstance(node, JoinNode):
+        joins.append(node)
+        node = node.left
+    joins.reverse()  # bottom-up order
+    if not 0 <= level < len(joins):
+        raise IndexError(f"join level {level} out of range (plan has {len(joins)})")
+    target = joins[level]
+    rebuilt: PlanNode = replace(target, method=method)
+    for upper in joins[level + 1 :]:
+        rebuilt = replace(upper, left=rebuilt)
+    return rebuilt

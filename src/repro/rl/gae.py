@@ -1,0 +1,49 @@
+"""Generalized Advantage Estimation (Schulman et al., 2016)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    last_value: float = 0.0,
+    gamma: float = 0.99,
+    lam: float = 0.95,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and discounted returns.
+
+    Parameters
+    ----------
+    rewards, values, dones:
+        Per-step arrays of equal length.  ``dones[t]`` marks episode ends so
+        advantages do not bootstrap across episode boundaries.
+    last_value:
+        Value estimate for the state following the final transition (0 when
+        the rollout ends exactly on an episode boundary).
+
+    Returns
+    -------
+    (advantages, returns) with ``returns = advantages + values``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    if not (len(rewards) == len(values) == len(dones)):
+        raise ValueError("rewards, values and dones must have equal length")
+    n = len(rewards)
+    advantages = np.zeros(n, dtype=np.float64)
+    gae = 0.0
+    next_value = float(last_value)
+    for t in range(n - 1, -1, -1):
+        not_done = 1.0 - dones[t]
+        delta = rewards[t] + gamma * next_value * not_done - values[t]
+        gae = delta + gamma * lam * not_done * gae
+        advantages[t] = gae
+        next_value = values[t]
+    returns = advantages + values
+    return advantages, returns

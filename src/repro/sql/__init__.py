@@ -1,0 +1,31 @@
+"""A small SQL frontend for select-project-join queries.
+
+The workloads (JOB/TPC-DS/Stack equivalents) emit SQL text; this package
+parses that text into the :class:`~repro.sql.ast.Query` IR consumed by the
+optimizer.  The dialect covers what the paper's workloads need: inner joins
+written as comma-separated FROM items with WHERE equi-join predicates,
+filter predicates (=, <>, <, <=, >, >=, IN, BETWEEN), and COUNT/SUM/MIN
+aggregates.
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    FilterPredicate,
+    JoinPredicate,
+    Query,
+)
+from repro.sql.parser import ParseError, parse_query
+from repro.sql.binder import BindError, bind_query
+
+__all__ = [
+    "ColumnRef",
+    "FilterPredicate",
+    "JoinPredicate",
+    "Aggregate",
+    "Query",
+    "parse_query",
+    "ParseError",
+    "bind_query",
+    "BindError",
+]

@@ -1,0 +1,151 @@
+"""Query IR: the bound representation consumed by the optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+SET_OPS = ("IN", "BETWEEN")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference ``alias.column``."""
+
+    alias: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A single-table predicate.
+
+    ``op`` is one of the comparison operators, "IN" (values holds the list)
+    or "BETWEEN" (values holds (low, high)).
+    """
+
+    column: ColumnRef
+    op: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS + SET_OPS:
+            raise ValueError(f"unsupported predicate op {self.op!r}")
+        if self.op == "BETWEEN" and len(self.values) != 2:
+            raise ValueError("BETWEEN requires exactly two values")
+        if self.op in COMPARISON_OPS and len(self.values) != 1:
+            raise ValueError(f"{self.op} requires exactly one value")
+
+    @property
+    def value(self) -> float:
+        return self.values[0]
+
+    def __str__(self) -> str:
+        if self.op == "IN":
+            return f"{self.column} IN ({', '.join(str(v) for v in self.values)})"
+        if self.op == "BETWEEN":
+            return f"{self.column} BETWEEN {self.values[0]} AND {self.values[1]}"
+        return f"{self.column} {self.op} {self.values[0]}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left = right`` between two aliases."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def aliases(self) -> Tuple[str, str]:
+        return (self.left.alias, self.right.alias)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An output aggregate; column is None for COUNT(*)."""
+
+    function: str  # COUNT | SUM | MIN | MAX
+    column: Optional[ColumnRef] = None
+
+    def __str__(self) -> str:
+        arg = "*" if self.column is None else str(self.column)
+        return f"{self.function}({arg})"
+
+
+@dataclass
+class Query:
+    """A bound select-project-join query.
+
+    Attributes
+    ----------
+    tables:
+        alias -> physical table name.
+    join_predicates:
+        equi-join conditions between aliases.
+    filters:
+        single-table predicates.
+    aggregates:
+        output expressions (at least COUNT(*)).
+    """
+
+    tables: Dict[str, str]
+    join_predicates: List[JoinPredicate]
+    filters: List[FilterPredicate]
+    aggregates: List[Aggregate] = field(default_factory=lambda: [Aggregate("COUNT")])
+    name: str = ""
+
+    @property
+    def aliases(self) -> List[str]:
+        return list(self.tables)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def filters_for(self, alias: str) -> List[FilterPredicate]:
+        return [f for f in self.filters if f.column.alias == alias]
+
+    def join_graph(self) -> nx.Graph:
+        """Undirected alias graph; each edge carries its join predicates."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.tables)
+        for pred in self.join_predicates:
+            a, b = pred.aliases()
+            if graph.has_edge(a, b):
+                graph[a][b]["predicates"].append(pred)
+            else:
+                graph.add_edge(a, b, predicates=[pred])
+        return graph
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.join_graph()) if self.tables else False
+
+    def joins_between(self, group_a: Sequence[str], group_b: Sequence[str]) -> List[JoinPredicate]:
+        """Join predicates linking any alias in group_a to any in group_b."""
+        set_a, set_b = set(group_a), set(group_b)
+        result = []
+        for pred in self.join_predicates:
+            la, ra = pred.aliases()
+            if (la in set_a and ra in set_b) or (la in set_b and ra in set_a):
+                result.append(pred)
+        return result
+
+    def to_sql(self) -> str:
+        """Render back to the SQL dialect accepted by the parser."""
+        select = ", ".join(str(a) for a in self.aggregates)
+        from_clause = ", ".join(f"{table} AS {alias}" for alias, table in self.tables.items())
+        conditions = [str(p) for p in self.join_predicates] + [str(f) for f in self.filters]
+        where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+        return f"SELECT {select} FROM {from_clause}{where};"
+
+    def signature(self) -> str:
+        """A stable identity string (used as cache key)."""
+        return self.name or self.to_sql()

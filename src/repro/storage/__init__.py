@@ -1,0 +1,7 @@
+"""In-memory columnar storage: tables, indexes, and the database container."""
+
+from repro.storage.table import ColumnData, Table
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.database import StorageDatabase
+
+__all__ = ["ColumnData", "Table", "HashIndex", "SortedIndex", "StorageDatabase"]

@@ -1,0 +1,23 @@
+"""Benchmark workloads: JOB-, TPC-DS- and Stack-like synthetic equivalents.
+
+Each workload builds (deterministically from a seed) a dataset with planted
+skew/correlation plus a train/test query split matching the paper's setup:
+
+* JOB: 21-relation IMDb-like schema, 33 templates, 113 queries (94/19 split)
+* TPC-DS: star schema, 19 templates x 6 queries (5 train / 1 test each)
+* Stack: StackExchange-like schema, 12 templates x 10 queries (8/2 each)
+"""
+
+from repro.workloads.base import Workload, WorkloadQuery, build_workload_by_name
+from repro.workloads.job import build_job_workload
+from repro.workloads.tpcds import build_tpcds_workload
+from repro.workloads.stack import build_stack_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "build_workload_by_name",
+    "build_job_workload",
+    "build_tpcds_workload",
+    "build_stack_workload",
+]

@@ -1,0 +1,140 @@
+"""AAM tests: state network, pairwise head, asymmetric loss, training."""
+
+import numpy as np
+import pytest
+
+from repro.core.aam import (
+    AAMConfig,
+    AAMSample,
+    AAMTrainer,
+    AdvantageModel,
+    StateNetwork,
+    asymmetric_loss,
+)
+from repro.core.encoding import PlanEncoder
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    workload = request.getfixturevalue("job_workload")
+    db = workload.database
+    encoder = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+    config = AAMConfig(d_model=32, d_embed=8, d_state=32, num_heads=2, num_layers=1, ff_hidden=32, epochs=2)
+    rng = np.random.default_rng(5)
+    model = AdvantageModel(encoder.num_tables, encoder.num_columns, 40, config=config, rng=rng)
+    queries = [w for w in workload.all_queries if w.query.num_tables >= 3][:6]
+    encoded = [(w.query, encoder.encode(w.query, db.plan(w.query).plan)) for w in queries]
+    return workload, db, encoder, model, encoded
+
+
+class TestStateNetwork:
+    def test_statevec_shape(self, setup):
+        _, _, _, model, encoded = setup
+        vec = model.state_network.statevec(encoded[0][1], 0.5)
+        assert vec.shape == (32,)
+
+    def test_batch_matches_single(self, setup):
+        _, _, _, model, encoded = setup
+        plans = [e for _, e in encoded[:3]]
+        steps = np.array([0.0, 0.5, 1.0])
+        batch = model.state_network(plans, steps).data
+        single = model.state_network.statevec(plans[1], 0.5)
+        np.testing.assert_allclose(batch[1], single, atol=1e-10)
+
+    def test_step_changes_statevec(self, setup):
+        _, _, _, model, encoded = setup
+        a = model.state_network.statevec(encoded[0][1], 0.0)
+        b = model.state_network.statevec(encoded[0][1], 1.0)
+        assert not np.allclose(a, b)
+
+    def test_different_plans_different_statevec(self, setup):
+        _, _, _, model, encoded = setup
+        a = model.state_network.statevec(encoded[0][1], 0.0)
+        b = model.state_network.statevec(encoded[1][1], 0.0)
+        assert not np.allclose(a, b)
+
+
+class TestAdvantageModelHead:
+    def test_logits_shape(self, setup):
+        _, _, _, model, encoded = setup
+        plans = [e for _, e in encoded[:2]]
+        logits = model(plans, np.zeros(2), plans, np.ones(2))
+        assert logits.shape == (2, 3)
+
+    def test_position_awareness(self, setup):
+        """Swapping the pair must change the logits (asymmetric model)."""
+        _, _, _, model, encoded = setup
+        a, b = encoded[0][1], encoded[1][1]
+        fwd = model([a], np.zeros(1), [b], np.zeros(1)).data
+        rev = model([b], np.zeros(1), [a], np.zeros(1)).data
+        assert not np.allclose(fwd, rev)
+
+    def test_predict_score_in_range(self, setup):
+        _, _, _, model, encoded = setup
+        score = model.predict_score(encoded[0][1], 0.0, encoded[1][1], 0.3)
+        assert score in (0, 1, 2)
+
+
+class TestAsymmetricLoss:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0, -10.0]]))
+        good = asymmetric_loss(logits, np.array([0]), 1.0, 4.0, 0.1)
+        bad = asymmetric_loss(logits, np.array([2]), 1.0, 4.0, 0.1)
+        assert good.item() < bad.item()
+
+    def test_focal_downweights_easy_negatives(self):
+        """Higher gamma- shrinks the loss contribution of easy samples."""
+        logits = Tensor(np.array([[3.0, 0.0, 0.0]]))
+        mild = asymmetric_loss(logits, np.array([0]), 0.0, 0.0, 0.0)
+        focal = asymmetric_loss(logits, np.array([0]), 1.0, 4.0, 0.0)
+        assert focal.item() < mild.item()
+
+    def test_gradient_flows(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((4, 3)), requires_grad=True)
+        loss = asymmetric_loss(logits, np.array([0, 1, 2, 0]), 1.0, 4.0, 0.1)
+        loss.backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()
+
+    def test_label_smoothing_penalizes_overconfidence(self):
+        confident = Tensor(np.array([[50.0, -50.0, -50.0]]))
+        calibrated = Tensor(np.array([[5.0, -2.0, -2.0]]))
+        smoothed_conf = asymmetric_loss(confident, np.array([0]), 0.0, 0.0, 0.1)
+        smoothed_cal = asymmetric_loss(calibrated, np.array([0]), 0.0, 0.0, 0.1)
+        # With smoothing, the extremely confident logits pay on the eps mass.
+        assert smoothed_conf.item() > 0.0
+        assert np.isfinite(smoothed_cal.item())
+
+
+class TestAAMTraining:
+    def test_learns_synthetic_ordering(self, setup):
+        """The AAM must learn a pairwise rule separable by its inputs: here,
+        'plan encodings with more nestloop ops are worse'."""
+        _, db, encoder, _, encoded = setup
+        rng = np.random.default_rng(3)
+        config = AAMConfig(d_model=32, d_embed=8, d_state=32, num_heads=2, num_layers=1, ff_hidden=32, epochs=6, lr=2e-3)
+        model = AdvantageModel(encoder.num_tables, encoder.num_columns, 40, config=config, rng=rng)
+        trainer = AAMTrainer(model, rng=rng)
+        # Two distinct plans per query: label depends on which side is which.
+        samples = []
+        for query, enc in encoded:
+            other = encoded[0][1] if enc is not encoded[0][1] else encoded[1][1]
+            samples.append(AAMSample(left=enc, left_step=0.0, right=other, right_step=0.5, label=2))
+            samples.append(AAMSample(left=other, left_step=0.5, right=enc, right_step=0.0, label=0))
+        metrics = trainer.train(samples * 4)
+        assert metrics["accuracy"] >= 0.75
+
+    def test_empty_training_is_noop(self, setup):
+        _, _, encoder, model, _ = setup
+        trainer = AAMTrainer(model, rng=np.random.default_rng(0))
+        metrics = trainer.train([])
+        assert metrics["batches"] == 0
+
+    def test_evaluate_range(self, setup):
+        _, _, _, model, encoded = setup
+        trainer = AAMTrainer(model, rng=np.random.default_rng(0))
+        samples = [
+            AAMSample(left=encoded[0][1], left_step=0.0, right=encoded[1][1], right_step=0.0, label=0)
+        ]
+        assert 0.0 <= trainer.evaluate(samples) <= 1.0

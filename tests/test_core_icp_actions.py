@@ -1,0 +1,212 @@
+"""ICP, action-space, and minsteps tests (paper §III mechanics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import ActionSpace, OverrideAction, SwapAction
+from repro.core.icp import IncompletePlan, minsteps
+
+
+def make_icp(n: int, methods=None) -> IncompletePlan:
+    order = tuple(f"t{i}" for i in range(n))
+    if methods is None:
+        methods = tuple("hash" for _ in range(n - 1))
+    return IncompletePlan(order=order, methods=tuple(methods))
+
+
+class TestIncompletePlan:
+    def test_extract_roundtrip(self, job_workload):
+        db = job_workload.database
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 4)
+        plan = db.plan(query).plan
+        icp = IncompletePlan.extract(plan)
+        rebuilt = db.plan_with_hints(query, icp.order, icp.methods).plan
+        assert IncompletePlan.extract(rebuilt) == icp
+
+    def test_swap(self):
+        icp = make_icp(4)
+        swapped = icp.swap(1, 3)
+        assert swapped.order == ("t2", "t1", "t0", "t3")
+        assert swapped.methods == icp.methods
+
+    def test_swap_same_position_raises(self):
+        with pytest.raises(ValueError):
+            make_icp(3).swap(1, 1)
+
+    def test_swap_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            make_icp(3).swap(1, 4)
+
+    def test_override(self):
+        icp = make_icp(4)
+        overridden = icp.override(2, "nestloop")
+        assert overridden.methods == ("hash", "nestloop", "hash")
+        assert overridden.order == icp.order
+
+    def test_override_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            make_icp(3).override(3, "hash")
+
+    def test_method_count_validation(self):
+        with pytest.raises(ValueError):
+            IncompletePlan(order=("a", "b"), methods=())
+
+    def test_duplicate_alias_raises(self):
+        with pytest.raises(ValueError):
+            IncompletePlan(order=("a", "a"), methods=("hash",))
+
+    def test_parent_join_labels(self):
+        """T1 and T2 sit under O1; T(p) for p >= 3 is under O(p-1)."""
+        icp = make_icp(5)
+        assert icp.parent_join_of_leaf(1) == 1
+        assert icp.parent_join_of_leaf(2) == 1
+        assert icp.parent_join_of_leaf(3) == 2
+        assert icp.parent_join_of_leaf(5) == 4
+
+    def test_signature_distinguishes(self):
+        assert make_icp(3).signature() != make_icp(3).swap(1, 2).signature()
+        assert make_icp(3).signature() != make_icp(3).override(1, "merge").signature()
+
+
+class TestMinsteps:
+    def test_identity_zero(self):
+        icp = make_icp(5)
+        assert minsteps(icp, icp) == 0
+
+    def test_single_swap(self):
+        icp = make_icp(5)
+        assert minsteps(icp, icp.swap(1, 4)) == 1
+
+    def test_single_override(self):
+        icp = make_icp(5)
+        assert minsteps(icp, icp.override(3, "merge")) == 1
+
+    def test_swap_then_override(self):
+        icp = make_icp(5)
+        target = icp.swap(1, 2).override(1, "nestloop")
+        assert minsteps(icp, target) == 2
+
+    def test_three_cycle_needs_two_swaps(self):
+        icp = make_icp(3)
+        rotated = IncompletePlan(order=("t1", "t2", "t0"), methods=icp.methods)
+        assert minsteps(icp, rotated) == 2
+
+    def test_redundant_overrides_not_counted(self):
+        """Overriding the same node twice ends one step from the origin."""
+        icp = make_icp(4)
+        wandering = icp.override(1, "merge").override(1, "nestloop")
+        assert minsteps(icp, wandering) == 1
+
+    def test_different_table_sets_raise(self):
+        a = make_icp(3)
+        b = IncompletePlan(order=("x", "y", "z"), methods=("hash", "hash"))
+        with pytest.raises(ValueError):
+            minsteps(a, b)
+
+
+class TestActionSpace:
+    def test_sizes_match_paper_formulas(self):
+        n = 17
+        space = ActionSpace(max_tables=n)
+        assert space.num_swaps == n * (n - 1) // 2
+        assert space.num_overrides == 3 * (n - 1)
+        assert space.size == space.num_swaps + space.num_overrides
+
+    def test_decode_encode_bijection(self):
+        space = ActionSpace(max_tables=8)
+        for action_id in range(space.size):
+            action = space.decode(action_id)
+            if isinstance(action, SwapAction):
+                assert space.encode_swap(action.left_pos, action.right_pos) == action_id
+            else:
+                assert space.encode_override(action.join_pos, action.method) == action_id
+
+    def test_decode_out_of_range(self):
+        space = ActionSpace(max_tables=4)
+        with pytest.raises(IndexError):
+            space.decode(space.size)
+
+    def test_apply_swap(self):
+        space = ActionSpace(max_tables=5)
+        icp = make_icp(5)
+        action_id = space.encode_swap(2, 5)
+        out = space.apply(action_id, icp)
+        assert out.order[1] == "t4" and out.order[4] == "t1"
+
+    def test_legality_mask_respects_query_size(self):
+        space = ActionSpace(max_tables=10)
+        icp = make_icp(4)
+        mask = space.legality_mask(icp)
+        # A swap touching position 5 must be illegal for a 4-table ICP.
+        assert not mask[space.encode_swap(1, 5)]
+        assert mask[space.encode_swap(1, 4)]
+        # Override of O4 illegal (only O1..O3 exist).
+        assert not mask[space.encode_override(4, "merge")]
+
+    def test_legality_mask_forbids_noop_override(self):
+        space = ActionSpace(max_tables=4)
+        icp = make_icp(4, methods=("hash", "merge", "nestloop"))
+        mask = space.legality_mask(icp)
+        assert not mask[space.encode_override(1, "hash")]
+        assert mask[space.encode_override(1, "merge")]
+
+    def test_post_swap_mask_restricts_to_parents(self):
+        space = ActionSpace(max_tables=6)
+        icp = make_icp(6)
+        swap = SwapAction(left_pos=1, right_pos=5)
+        mask = space.post_swap_mask(icp, swap)
+        legal = [space.decode(i) for i in np.flatnonzero(mask)]
+        assert legal, "post-swap mask must allow something"
+        assert all(isinstance(a, OverrideAction) for a in legal)
+        # Parents of T1 and T5 are O1 and O4.
+        assert {a.join_pos for a in legal} <= {1, 4}
+
+    def test_post_swap_mask_fallback_when_empty(self):
+        """If every parent override is a no-op... cannot happen with 3
+        methods, but the fallback to full legality must keep the agent
+        unstuck; simulate via a 2-table plan where parents coincide."""
+        space = ActionSpace(max_tables=2)
+        icp = make_icp(2)
+        swap = SwapAction(left_pos=1, right_pos=2)
+        mask = space.post_swap_mask(icp, swap)
+        assert mask.any()
+
+    def test_every_legal_action_is_applicable(self):
+        space = ActionSpace(max_tables=7)
+        icp = make_icp(5, methods=("hash", "merge", "nestloop", "hash"))
+        mask = space.legality_mask(icp)
+        for action_id in np.flatnonzero(mask):
+            out = space.apply(int(action_id), icp)
+            assert out.num_tables == icp.num_tables
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+    steps=st.integers(min_value=0, max_value=6),
+)
+def test_minsteps_lower_bounds_random_walks(n, seed, steps):
+    """minsteps(origin, x) <= number of actions actually taken to reach x."""
+    rng = np.random.default_rng(seed)
+    space = ActionSpace(max_tables=n)
+    origin = make_icp(n)
+    current = origin
+    for _ in range(steps):
+        mask = space.legality_mask(current)
+        legal = np.flatnonzero(mask)
+        current = space.apply(int(rng.choice(legal)), current)
+    assert minsteps(origin, current) <= steps
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=9), seed=st.integers(min_value=0, max_value=9999))
+def test_swap_is_involution(n, seed):
+    rng = np.random.default_rng(seed)
+    icp = make_icp(n)
+    l = int(rng.integers(1, n + 1))
+    r = int(rng.integers(1, n + 1))
+    if l == r:
+        r = (r % n) + 1
+    assert icp.swap(l, r).swap(l, r) == icp

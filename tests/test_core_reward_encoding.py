@@ -1,0 +1,203 @@
+"""Reward machinery and plan-encoding tests (paper §III reward, §IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import (
+    OP_HASH_JOIN,
+    OP_INDEX_SCAN,
+    OP_SEQ_SCAN,
+    PlanEncoder,
+    STRUCT_LEFT,
+    STRUCT_RIGHT,
+    STRUCT_ROOT,
+)
+from repro.core.reward import AdvantageFunction, ReferenceSet, RewardConfig
+
+
+class TestAdvantageFunction:
+    def test_initial_range(self):
+        adv = AdvantageFunction()
+        assert adv.initial(100.0, 50.0) == pytest.approx(0.5)
+        assert adv.initial(100.0, 100.0) == pytest.approx(0.0)
+        assert adv.initial(100.0, 300.0) == pytest.approx(-2.0)
+
+    def test_discretize_point_set(self):
+        """Paper point set {0.05, 0.50} -> scores {0, 1, 2}."""
+        adv = AdvantageFunction()
+        assert adv.discretize(-1.0) == 0
+        assert adv.discretize(0.04) == 0
+        assert adv.discretize(0.05) == 0  # boundary belongs to the left interval
+        assert adv.discretize(0.051) == 1
+        assert adv.discretize(0.50) == 1
+        assert adv.discretize(0.51) == 2
+        assert adv.discretize(1.0) == 2
+
+    def test_score_from_latencies(self):
+        adv = AdvantageFunction()
+        assert adv.score(100.0, 100.0) == 0   # no improvement
+        assert adv.score(100.0, 80.0) == 1    # 20% saved
+        assert adv.score(100.0, 10.0) == 2    # 90% saved
+
+    def test_midpoints(self):
+        adv = AdvantageFunction()
+        assert adv.midpoint(0) == 0.0
+        assert adv.midpoint(1) == pytest.approx((0.05 + 0.50) / 2)
+        assert adv.midpoint(2) == pytest.approx((0.50 + 1.0) / 2)
+
+    def test_zero_left_latency_raises(self):
+        with pytest.raises(ValueError):
+            AdvantageFunction().initial(0.0, 1.0)
+
+    def test_penalty_sign(self):
+        adv = AdvantageFunction(RewardConfig(penalty_gamma=2.0))
+        assert adv.penalty(min_steps=1, current_step=1) == 0.0
+        assert adv.penalty(min_steps=1, current_step=3) == -4.0
+
+    def test_penalty_disabled(self):
+        adv = AdvantageFunction(RewardConfig(penalty_gamma=0.0))
+        assert adv.penalty(min_steps=0, current_step=3) == 0.0
+
+    def test_episode_bounty_rewards_beating_everything(self):
+        adv = AdvantageFunction()
+        # refs: best saved 60%, median saved 30%, original 0.
+        bounties = (0.6, 0.3, 0.0)
+        beats_all = adv.episode_bounty(bounties, [2, 2, 2])
+        beats_none = adv.episode_bounty(bounties, [0, 0, 0])
+        assert beats_all > beats_none
+
+    def test_episode_bounty_degenerate_refs(self):
+        adv = AdvantageFunction()
+        assert adv.episode_bounty((0.0, 0.0, 0.0), [1, 1, 1]) > 0.0
+
+    def test_episode_bounty_wrong_arity(self):
+        adv = AdvantageFunction()
+        with pytest.raises(ValueError):
+            adv.episode_bounty((0.5, 0.2), [1, 1])
+
+    def test_invalid_point_set(self):
+        with pytest.raises(ValueError):
+            AdvantageFunction(RewardConfig(points=(0.5, 0.1)))
+
+
+class TestReferenceSet:
+    def test_from_latencies(self):
+        refs = ReferenceSet.from_latencies(100.0, [40.0, 70.0, 90.0])
+        assert refs.latencies[0] == 40.0     # best
+        assert refs.latencies[1] == 70.0     # median
+        assert refs.latencies[2] == 100.0    # original
+        assert refs.bounties[0] == pytest.approx(0.6)
+        assert refs.bounties[2] == 0.0
+
+    def test_no_better_plans(self):
+        refs = ReferenceSet.from_latencies(100.0, [150.0, 200.0])
+        assert refs.bounties == (0.0, 0.0, 0.0)
+        assert refs.latencies == (100.0, 100.0, 100.0)
+
+    def test_bounties_sorted_descending(self):
+        refs = ReferenceSet.from_latencies(100.0, [10.0, 50.0, 80.0])
+        assert refs.bounties[0] >= refs.bounties[1] >= refs.bounties[2]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.floats(min_value=0.01, max_value=1e5),
+    right=st.floats(min_value=0.01, max_value=1e5),
+)
+def test_advantage_antisymmetry_property(left, right):
+    """Adv_init(l, r) > 0 iff Adv_init(r, l) < 0 (strict improvement flips)."""
+    adv = AdvantageFunction()
+    forward = adv.initial(left, right)
+    backward = adv.initial(right, left)
+    if forward > 0:
+        assert backward < 0
+    assert adv.initial(left, left) == 0.0
+
+
+class TestPlanEncoding:
+    @pytest.fixture()
+    def encoder(self, job_workload):
+        db = job_workload.database
+        return PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+
+    def _plan(self, job_workload, num_tables=4):
+        db = job_workload.database
+        wq = next(w for w in job_workload.all_queries if w.query.num_tables == num_tables)
+        return wq.query, db.plan(wq.query).plan
+
+    def test_node_count(self, encoder, job_workload):
+        query, plan = self._plan(job_workload, num_tables=4)
+        encoded = encoder.encode(query, plan)
+        assert encoded.num_nodes == 2 * 4 - 1
+        assert encoded.node_mask.sum() == encoded.num_nodes
+
+    def test_root_is_first_node(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        assert encoded.structs[0] == STRUCT_ROOT
+        assert encoded.ops[0] in (OP_HASH_JOIN, OP_HASH_JOIN + 1, OP_HASH_JOIN + 2)
+
+    def test_heights_consistent(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        # Root has the max height; scans have height 0.
+        real = encoded.heights[encoded.node_mask]
+        assert encoded.heights[0] == real.max()
+        scan_mask = (encoded.ops == OP_SEQ_SCAN) | (encoded.ops == OP_INDEX_SCAN)
+        assert (encoded.heights[scan_mask & encoded.node_mask] == 0).all()
+
+    def test_structure_types_balanced(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        real = encoded.structs[encoded.node_mask]
+        assert (real == STRUCT_LEFT).sum() == (real == STRUCT_RIGHT).sum()
+        assert (real == STRUCT_ROOT).sum() == 1
+
+    def test_attention_mask_symmetric_and_reflexive(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        mask = encoded.attention_mask
+        np.testing.assert_array_equal(mask, mask.T)
+        assert mask.diagonal().all()
+
+    def test_attention_mask_blocks_sibling_leaves(self, encoder, job_workload):
+        """Two leaves are never ancestor/descendant of each other."""
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        leaf_idx = np.flatnonzero(
+            ((encoded.ops == OP_SEQ_SCAN) | (encoded.ops == OP_INDEX_SCAN)) & encoded.node_mask
+        )
+        assert len(leaf_idx) >= 2
+        assert not encoded.attention_mask[leaf_idx[0], leaf_idx[1]]
+
+    def test_root_reaches_everything(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        assert encoded.attention_mask[0, : encoded.num_nodes].all()
+
+    def test_filter_values_normalized(self, encoder, job_workload):
+        query, plan = self._plan(job_workload)
+        encoded = encoder.encode(query, plan)
+        assert (encoded.filter_vals >= 0.0).all()
+        assert (encoded.filter_vals <= 1.0).all()
+
+    def test_too_many_nodes_raises(self, job_workload):
+        db = job_workload.database
+        small = PlanEncoder(db.schema, max_nodes=3)
+        query, plan = self._plan(job_workload)
+        with pytest.raises(ValueError):
+            small.encode(query, plan)
+
+    def test_different_methods_produce_different_encodings(self, encoder, job_workload):
+        from repro.core.icp import IncompletePlan
+
+        db = job_workload.database
+        query, plan = self._plan(job_workload)
+        icp = IncompletePlan.extract(plan)
+        current = icp.methods[0]
+        other = next(m for m in ("hash", "merge", "nestloop") if m != current)
+        alt = db.plan_with_hints(query, icp.order, (other,) + icp.methods[1:]).plan
+        a = encoder.encode(query, plan)
+        b = encoder.encode(query, alt)
+        assert not np.array_equal(a.ops, b.ops)

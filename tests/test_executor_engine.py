@@ -1,0 +1,207 @@
+"""Executor and engine-facade tests: correctness, virtual time, timeouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.executor.joins import JoinOverflow, count_join_output, join_pairs
+from repro.optimizer.plans import JOIN_METHODS, plan_aliases, plan_join_methods
+
+
+@pytest.fixture(scope="module")
+def db(request):
+    return request.getfixturevalue("job_workload").database
+
+
+class TestJoinPairs:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 10, size=50)
+        right = rng.integers(0, 10, size=40)
+        li, ri = join_pairs(left, right)
+        expected = {(i, j) for i in range(50) for j in range(40) if left[i] == right[j]}
+        assert set(zip(li.tolist(), ri.tolist())) == expected
+
+    def test_empty_inputs(self):
+        li, ri = join_pairs(np.array([]), np.array([1, 2]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_no_matches(self):
+        li, ri = join_pairs(np.array([1, 2]), np.array([3, 4]))
+        assert len(li) == 0
+
+    def test_overflow_raises_before_materializing(self):
+        left = np.zeros(10_000, dtype=np.int64)
+        right = np.zeros(10_000, dtype=np.int64)
+        with pytest.raises(JoinOverflow):
+            join_pairs(left, right, max_output=1000)
+
+    def test_count_matches_pairs(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 5, size=30)
+        right = rng.integers(0, 5, size=30)
+        li, _ = join_pairs(left, right)
+        assert count_join_output(left, right) == len(li)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    left=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=40),
+    right=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=40),
+)
+def test_join_pairs_property(left, right):
+    left_arr, right_arr = np.array(left, dtype=np.int64), np.array(right, dtype=np.int64)
+    li, ri = join_pairs(left_arr, right_arr)
+    assert len(li) == len(ri)
+    if len(li):
+        np.testing.assert_array_equal(left_arr[li], right_arr[ri])
+    # Exhaustive count check.
+    expected = sum(1 for a in left for b in right if a == b)
+    assert len(li) == expected
+
+
+class TestExecutionCorrectness:
+    def test_count_star_matches_numpy(self, db):
+        query = db.sql("SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000")
+        plan = db.plan(query).plan
+        result = db.execute(query, plan)
+        years = db.storage.table("title").column("production_year")
+        assert result.aggregate_values[0] == float((years >= 2000).sum())
+
+    def test_join_count_matches_bruteforce(self, db):
+        query = db.sql(
+            "SELECT COUNT(*) FROM title t, movie_keyword mk "
+            "WHERE mk.movie_id = t.id AND t.kind_id = 1"
+        )
+        plan = db.plan(query).plan
+        result = db.execute(query, plan)
+        titles = db.storage.table("title")
+        mk = db.storage.table("movie_keyword")
+        kind_ok = titles.column("kind_id") == 1
+        expected = int(kind_ok[mk.column("movie_id")].sum())
+        assert result.output_rows == expected
+
+    def test_all_join_orders_same_count(self, db, job_workload):
+        """Result cardinality must be plan-invariant (relational semantics)."""
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables == 4)
+        rng = np.random.default_rng(3)
+        counts = set()
+        for _ in range(5):
+            order = list(query.aliases)
+            rng.shuffle(order)
+            methods = [JOIN_METHODS[int(rng.integers(3))] for _ in range(len(order) - 1)]
+            plan = db.plan_with_hints(query, order, methods).plan
+            result = db.execute(query, plan, use_cache=False)
+            if not result.timed_out:  # timed-out runs report no rows
+                counts.add(result.output_rows)
+        assert len(counts) == 1
+
+    def test_join_method_does_not_change_result(self, db, job_workload):
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables == 4)
+        original = db.plan(query).plan
+        order = plan_aliases(original)
+        counts = set()
+        for method in JOIN_METHODS:
+            plan = db.plan_with_hints(query, order, [method] * (len(order) - 1)).plan
+            counts.add(db.execute(query, plan, use_cache=False).output_rows)
+        assert len(counts) == 1
+
+    def test_aggregates_sum_min_max(self, db):
+        query = db.sql("SELECT COUNT(*), SUM(t.kind_id), MAX(t.kind_id) FROM title t WHERE t.kind_id >= 1")
+        result = db.execute(query, db.plan(query).plan)
+        kinds = db.storage.table("title").column("kind_id")
+        selected = kinds[kinds >= 1]
+        assert result.aggregate_values[0] == float(len(selected))
+        assert result.aggregate_values[1] == float(selected.sum())
+        assert result.aggregate_values[2] == float(selected.max())
+
+    def test_in_and_between_filters(self, db):
+        query = db.sql("SELECT COUNT(*) FROM title t WHERE t.kind_id IN (0, 2) AND t.production_year BETWEEN 1950 AND 2000")
+        result = db.execute(query, db.plan(query).plan)
+        titles = db.storage.table("title")
+        kinds = titles.column("kind_id")
+        years = titles.column("production_year")
+        expected = int((np.isin(kinds, [0, 2]) & (years >= 1950) & (years <= 2000)).sum())
+        assert result.aggregate_values[0] == float(expected)
+
+    def test_index_scan_equals_seq_scan(self, db):
+        from repro.optimizer.plans import ScanNode
+
+        query = db.sql("SELECT COUNT(*) FROM title t WHERE t.id = 5")
+        plan = db.plan(query).plan
+        assert isinstance(plan, ScanNode)
+        result = db.execute(query, plan)
+        seq_plan = ScanNode(alias="t", table="title", scan_type="seq", filters=plan.filters)
+        seq_result = db.execute(query, seq_plan, use_cache=False)
+        assert result.output_rows == seq_result.output_rows == 1
+
+
+class TestVirtualTime:
+    def test_deterministic_latency(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        plan = db.plan(query).plan
+        a = db.execute(query, plan, use_cache=False).latency_ms
+        b = db.execute(query, plan, use_cache=False).latency_ms
+        assert a == b
+
+    def test_latency_positive(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        result = db.execute(query, db.plan(query).plan)
+        assert result.latency_ms > 0
+
+    def test_timeout_truncates(self, db, job_workload):
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 5)
+        plan = db.plan(query).plan
+        full = db.execute(query, plan).latency_ms
+        tiny_timeout = full / 10.0
+        result = db.execute(query, plan, timeout_ms=tiny_timeout)
+        assert result.timed_out
+        assert result.latency_ms == pytest.approx(tiny_timeout)
+
+    def test_timeout_noop_when_fast_enough(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        plan = db.plan(query).plan
+        full = db.execute(query, plan).latency_ms
+        result = db.execute(query, plan, timeout_ms=full * 10)
+        assert not result.timed_out
+        assert result.latency_ms == pytest.approx(full)
+
+    def test_cache_hit_does_not_reexecute(self, db, job_workload):
+        query = job_workload.all_queries[1].query
+        plan = db.plan(query).plan
+        db.execute(query, plan)
+        before = db.executions
+        db.execute(query, plan)
+        assert db.executions == before
+
+    def test_cache_upgrade_on_higher_cap(self, db, job_workload):
+        """A plan capped at a low timeout re-executes under a higher one."""
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 5)
+        plan = db.plan(query).plan
+        full = db.execute(query, plan, use_cache=False).latency_ms
+        db.clear_caches()
+        low = db.execute(query, plan, timeout_ms=full / 10)
+        assert low.timed_out
+        high = db.execute(query, plan, timeout_ms=full * 10)
+        assert not high.timed_out
+        assert high.latency_ms == pytest.approx(full)
+
+
+class TestEngineFacade:
+    def test_plan_cache(self, db, job_workload):
+        query = job_workload.all_queries[2].query
+        first = db.plan(query)
+        second = db.plan(query)
+        assert first is second
+
+    def test_original_latency_consistent(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        a = db.original_latency(query)
+        b = db.execute(query, db.plan(query).plan).latency_ms
+        assert a == b
+
+    def test_explain_contains_tables(self, db, job_workload):
+        wq = job_workload.all_queries[0]
+        text = db.explain(db.plan(wq.query).plan)
+        for table in wq.query.tables.values():
+            assert table in text

@@ -1,0 +1,216 @@
+"""Layer and optimizer tests for the numpy NN library."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    Parameter,
+    Sequential,
+    TransformerEncoderLayer,
+    mlp,
+)
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng=rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_gradients_flow_to_params(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        layer(Tensor(rng.standard_normal((5, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_unknown_init_scheme_raises(self, rng):
+        with pytest.raises(ValueError):
+            Linear(2, 2, rng=rng, init_scheme="bogus")
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 2, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_gradient_accumulates_for_repeated_ids(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        emb(np.array([1, 1])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_multi_dim_ids(self, rng):
+        emb = Embedding(6, 3, rng=rng)
+        out = emb(np.zeros((2, 5), dtype=np.int64))
+        assert out.shape == (2, 5, 3)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.standard_normal((4, 8)) * 10 + 5)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(4)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        (layer(x) ** 2).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestAttention:
+    def test_mask_blocks_information(self, rng):
+        """A fully-blocked pair must not influence each other's output."""
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.standard_normal((3, 8))
+        mask = np.eye(3, dtype=bool)  # only self-attention
+        out1 = attn(Tensor(x), mask=mask).data
+        x_perturbed = x.copy()
+        x_perturbed[2] += 100.0
+        out2 = attn(Tensor(x_perturbed), mask=mask).data
+        np.testing.assert_allclose(out1[0], out2[0], atol=1e-8)
+
+    def test_batched_matches_single(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.standard_normal((2, 4, 8))
+        mask = np.ones((2, 4, 4), dtype=bool)
+        batched = attn(Tensor(x), mask=mask).data
+        single = attn(Tensor(x[1]), mask=mask[1]).data
+        np.testing.assert_allclose(batched[1], single, atol=1e-10)
+
+    def test_dim_head_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, rng=rng)
+
+    def test_encoder_layer_shapes(self, rng):
+        layer = TransformerEncoderLayer(8, 2, 16, rng=rng)
+        out = layer(Tensor(rng.standard_normal((5, 8))))
+        assert out.shape == (5, 8)
+
+
+class TestModuleInfrastructure:
+    def test_parameters_collects_nested(self, rng):
+        model = Sequential(Linear(2, 4, rng=rng), Linear(4, 1, rng=rng))
+        assert len(model.parameters()) == 4
+
+    def test_state_dict_roundtrip(self, rng, tmp_path):
+        model = mlp([3, 8, 2], rng=rng)
+        path = str(tmp_path / "weights.npz")
+        save_state_dict(model.state_dict(), path)
+        clone = mlp([3, 8, 2], rng=np.random.default_rng(99))
+        clone.load_state_dict(load_state_dict(path))
+        x = Tensor(rng.standard_normal((2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_missing_key_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Dropout(0.5, rng=rng), Linear(2, 2, rng=rng))
+        model.eval()
+        assert all(not layer.training for layer in model)
+
+    def test_dropout_identity_in_eval(self, rng):
+        drop = Dropout(0.9, rng=rng)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_scales_in_train(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((1000,)))).data
+        # Inverted dropout keeps the expectation ~1.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_num_parameters(self, rng):
+        model = Linear(3, 2, rng=rng)
+        assert model.num_parameters() == 3 * 2 + 2
+
+
+class TestOptimizers:
+    def _quadratic_problem(self, optimizer_factory, steps=300):
+        target = np.array([1.0, -2.0, 0.5])
+        param = Parameter(np.zeros(3))
+        optimizer = optimizer_factory([param])
+        for _ in range(steps):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return param.data, target
+
+    def test_sgd_converges(self):
+        result, target = self._quadratic_problem(lambda p: SGD(p, lr=0.05))
+        np.testing.assert_allclose(result, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        result, target = self._quadratic_problem(lambda p: SGD(p, lr=0.02, momentum=0.9))
+        np.testing.assert_allclose(result, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        result, target = self._quadratic_problem(lambda p: Adam(p, lr=0.05))
+        np.testing.assert_allclose(result, target, atol=1e-2)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=1e-3)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_clip_grad_norm_scales(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.ones(4) * 10.0
+        norm_before = clip_grad_norm([param], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_noop_below_max(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])

@@ -1,0 +1,239 @@
+"""Autograd engine tests: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate, no_grad, randn, stack, where
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        out[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x0: np.ndarray, atol: float = 1e-5):
+    """Compare autograd gradient of build(Tensor) with finite differences."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    build(t).backward()
+    expected = numeric_grad(lambda arr: float(build(Tensor(arr)).data), x0.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum(), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_mul(self):
+        check_gradient(lambda t: (t * t).sum(), np.array([1.0, -2.0, 3.0]))
+
+    def test_sub_rsub(self):
+        check_gradient(lambda t: (5.0 - t).sum(), np.array([1.0, 2.0]))
+
+    def test_div(self):
+        check_gradient(lambda t: (t / 2.0 + 1.0 / t).sum(), np.array([1.0, 2.0, 4.0]))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t**3).sum(), np.array([1.0, 2.0, -1.5]))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: (t.exp() + (t + 5.0).log()).sum(), np.array([0.3, 1.0]))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), np.array([-1.0, 0.0, 2.0]))
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), np.array([-2.0, 0.5]))
+
+    def test_relu_grad_zero_below(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0])
+
+    def test_abs(self):
+        check_gradient(lambda t: t.abs().sum(), np.array([-3.0, 2.0]))
+
+    def test_clip(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_sqrt(self):
+        check_gradient(lambda t: t.sqrt().sum(), np.array([1.0, 4.0, 9.0]))
+
+
+class TestMatmulAndShapes:
+    def test_matmul_2d(self):
+        a = np.random.default_rng(0).standard_normal((3, 4))
+        check_gradient(lambda t: (t @ Tensor(np.ones((4, 2)))).sum(), a)
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((2, 3, 4))
+        w = rng.standard_normal((2, 4, 5))
+        x = Tensor(a, requires_grad=True)
+        (x @ Tensor(w)).sum().backward()
+        expected = numeric_grad(lambda arr: float((arr @ w).sum()), a.copy())
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+    def test_reshape_roundtrip(self):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), np.arange(6, dtype=float).reshape(2, 3))
+
+    def test_transpose(self):
+        a = np.random.default_rng(2).standard_normal((2, 3))
+        check_gradient(lambda t: (t.T @ Tensor(np.ones((2, 1)))).sum(), a)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+
+    def test_broadcast_add_sums_grad(self):
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        x = Tensor(np.ones((4, 3)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [4.0, 4.0, 4.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean() * 3.0), np.array([1.0, 2.0, 3.0]))
+
+    def test_max_routes_to_argmax(self):
+        t = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_grad_accumulates_across_backward(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self):
+        # y = a*b where a = x+1, b = x*2 -> dy/dx = b + 2a = 2x + 2x + 2
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x + 1.0
+        b = x * 2.0
+        (a * b).backward()
+        np.testing.assert_allclose(x.grad, [4 * 3.0 + 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+
+class TestCombinators:
+    def test_concatenate_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (stack([a, b]) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0, 2.0])
+
+    def test_where_gradient_routes(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        cond = np.array([True, False, True])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(np.random.default_rng(3).standard_normal((4, 5)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0]]))
+        out = F.log_softmax(logits).data
+        assert np.isfinite(out).all()
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0, 0.0]]))
+        loss = F.cross_entropy(logits, np.array([0]))
+        manual = -np.log(np.exp(2.0) / (np.exp(2.0) + 2.0))
+        assert abs(loss.item() - manual) < 1e-10
+
+    def test_masked_softmax_zeroes_masked(self):
+        logits = Tensor(np.zeros((1, 3)))
+        mask = np.array([[True, False, True]])
+        probs = F.masked_softmax(logits, mask).data
+        assert probs[0, 1] < 1e-6
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_mse_loss_gradcheck(self):
+        target = np.array([1.0, 2.0])
+        check_gradient(lambda t: F.mse_loss(t, target), np.array([0.5, 1.5]))
+
+    def test_huber_quadratic_inside_linear_outside(self):
+        small = F.huber_loss(Tensor(np.array([0.5])), np.array([0.0]), delta=1.0)
+        large = F.huber_loss(Tensor(np.array([10.0])), np.array([0.0]), delta=1.0)
+        assert abs(small.item() - 0.125) < 1e-12
+        assert abs(large.item() - 9.5) < 1e-12
+
+    def test_entropy_uniform_is_log_n(self):
+        logits = Tensor(np.zeros((2, 4)))
+        entropy = F.entropy_from_logits(logits)
+        assert abs(entropy.item() - np.log(4)) < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-3, max_value=3), min_size=2, max_size=6),
+)
+def test_softmax_invariant_to_shift(values):
+    logits = np.array(values)
+    a = F.softmax(Tensor(logits[None])).data
+    b = F.softmax(Tensor(logits[None] + 100.0)).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+def test_matmul_shape_property(n, m):
+    rng = np.random.default_rng(42)
+    a = Tensor(rng.standard_normal((n, m)), requires_grad=True)
+    b = Tensor(rng.standard_normal((m, 3)))
+    out = a @ b
+    assert out.shape == (n, 3)
+    out.sum().backward()
+    assert a.grad.shape == (n, m)

@@ -1,0 +1,230 @@
+"""Traditional optimizer tests: cardinality, cost, DP enumeration, hints."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimizer.cost import CostModel, CostParameters, runtime_cost_parameters
+from repro.optimizer.dp import OptimizerOptions
+from repro.optimizer.hints import HintError
+from repro.optimizer.plans import (
+    JOIN_METHODS,
+    JoinNode,
+    ScanNode,
+    explain,
+    plan_aliases,
+    plan_join_methods,
+    plan_signature,
+    replace_join_method,
+)
+
+
+@pytest.fixture(scope="module")
+def db(job_database):
+    return job_database
+
+
+# Make the session fixture visible at module scope.
+@pytest.fixture(scope="module")
+def job_database(request):
+    return request.getfixturevalue("job_workload").database
+
+
+class TestCostModel:
+    def test_seq_scan_linear_in_rows(self):
+        cm = CostModel()
+        assert cm.seq_scan(2000, 1) == pytest.approx(2 * cm.seq_scan(1000, 1))
+
+    def test_index_scan_cheaper_when_selective(self):
+        cm = CostModel()
+        assert cm.index_scan(100_000, 10, 0) < cm.seq_scan(100_000, 1)
+
+    def test_index_scan_worse_when_unselective(self):
+        cm = CostModel()
+        assert cm.index_scan(10_000, 10_000, 0) > cm.seq_scan(10_000, 1)
+
+    def test_nested_loop_quadratic(self):
+        cm = CostModel()
+        assert cm.nested_loop(1000, 1000, 0) > 9 * cm.nested_loop(100, 1000, 0)
+
+    def test_index_nl_beats_plain_nl_for_big_inner(self):
+        cm = CostModel()
+        assert cm.index_nested_loop(100, 100_000, 100) < cm.nested_loop(100, 100_000, 100)
+
+    def test_hash_beats_nl_for_large_both(self):
+        cm = CostModel()
+        assert cm.hash_join(50_000, 50_000, 50_000) < cm.nested_loop(50_000, 50_000, 50_000)
+
+    def test_milliseconds_conversion(self):
+        cm = CostModel(CostParameters(work_units_per_ms=1000.0))
+        assert cm.to_milliseconds(5000.0) == pytest.approx(5.0)
+
+    def test_runtime_parameters_differ_from_planner(self):
+        planner = CostParameters()
+        runtime = runtime_cost_parameters()
+        assert runtime.index_tuple > planner.index_tuple  # random IO under-priced
+        assert runtime.hash_build_tuple < planner.hash_build_tuple  # hashing over-priced
+
+
+class TestPlanTrees:
+    def _left_deep(self):
+        scan_a = ScanNode(alias="a", table="title", est_rows=10, est_cost=10)
+        scan_b = ScanNode(alias="b", table="movie_info", est_rows=20, est_cost=20)
+        scan_c = ScanNode(alias="c", table="cast_info", est_rows=30, est_cost=30)
+        join1 = JoinNode(left=scan_a, right=scan_b, method="hash", est_rows=15, est_cost=50)
+        return JoinNode(left=join1, right=scan_c, method="nestloop", est_rows=5, est_cost=99)
+
+    def test_plan_aliases_left_to_right(self):
+        assert plan_aliases(self._left_deep()) == ["a", "b", "c"]
+
+    def test_plan_join_methods_bottom_up(self):
+        assert plan_join_methods(self._left_deep()) == ["hash", "nestloop"]
+
+    def test_signature_stable_and_distinct(self):
+        plan = self._left_deep()
+        assert plan_signature(plan) == plan_signature(self._left_deep())
+        other = replace_join_method(plan, 0, "merge")
+        assert plan_signature(other) != plan_signature(plan)
+
+    def test_replace_join_method_levels(self):
+        plan = self._left_deep()
+        assert plan_join_methods(replace_join_method(plan, 1, "merge")) == ["hash", "merge"]
+        with pytest.raises(IndexError):
+            replace_join_method(plan, 5, "merge")
+
+    def test_invalid_method_raises(self):
+        with pytest.raises(ValueError):
+            JoinNode(left=ScanNode(alias="a", table="t"), right=ScanNode(alias="b", table="t"), method="sort")
+
+    def test_index_scan_requires_column(self):
+        with pytest.raises(ValueError):
+            ScanNode(alias="a", table="t", scan_type="index")
+
+    def test_explain_renders(self):
+        text = explain(self._left_deep())
+        assert "Hash Join" in text and "Nested Loop" in text
+
+
+class TestEnumeration:
+    def test_plan_covers_all_aliases(self, db, job_workload):
+        for wq in job_workload.all_queries[:10]:
+            plan = db.plan(wq.query).plan
+            assert sorted(plan_aliases(plan)) == sorted(wq.query.aliases)
+
+    def test_plan_estimates_annotated(self, db, job_workload):
+        plan = db.plan(job_workload.all_queries[0].query).plan
+        assert plan.est_cost > 0
+        assert plan.est_rows >= 1
+
+    def test_disabled_methods_respected(self, db, job_workload):
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 3)
+        options = OptimizerOptions(disabled_methods=frozenset({"hash", "merge"}))
+        plan = db.plan(query, options).plan
+        assert set(plan_join_methods(plan)) <= {"nestloop"}
+
+    def test_all_methods_disabled_raises(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(disabled_methods=frozenset(JOIN_METHODS)).allowed_methods()
+
+    def test_leading_prefix_respected(self, db, job_workload):
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 4)
+        default_order = plan_aliases(db.plan(query).plan)
+        prefix = (default_order[-1],)  # force a different leading table
+        plan = db.plan(query, OptimizerOptions(leading_prefix=prefix)).plan
+        assert plan_aliases(plan)[0] == prefix[0]
+
+    def test_dp_beats_or_matches_random_hints_on_estimates(self, db, job_workload):
+        """The DP plan's estimated cost is minimal among random hint plans."""
+        rng = np.random.default_rng(0)
+        query = next(wq.query for wq in job_workload.all_queries if 4 <= wq.query.num_tables <= 6)
+        best = db.plan(query).plan
+        for _ in range(20):
+            order = list(query.aliases)
+            rng.shuffle(order)
+            methods = [JOIN_METHODS[int(rng.integers(3))] for _ in range(len(order) - 1)]
+            hinted = db.plan_with_hints(query, order, methods).plan
+            assert hinted.est_cost >= best.est_cost - 1e-6
+
+    def test_greedy_fallback_for_many_tables(self, db, job_workload):
+        query = max((wq.query for wq in job_workload.all_queries), key=lambda q: q.num_tables)
+        options = OptimizerOptions(max_dp_tables=4)
+        plan = db.plan(query, options).plan
+        assert sorted(plan_aliases(plan)) == sorted(query.aliases)
+
+    def test_single_table_query_is_scan(self, db):
+        query = db.sql("SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000")
+        plan = db.plan(query).plan
+        assert isinstance(plan, ScanNode)
+
+
+class TestHints:
+    def test_hint_roundtrip(self, db, job_workload):
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 4)
+        original = db.plan(query).plan
+        order = plan_aliases(original)
+        methods = plan_join_methods(original)
+        rebuilt = db.plan_with_hints(query, order, methods).plan
+        assert plan_aliases(rebuilt) == order
+        assert plan_join_methods(rebuilt) == methods
+
+    def test_wrong_alias_set_raises(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        with pytest.raises(HintError):
+            db.plan_with_hints(query, ["bogus"] * query.num_tables, ["hash"] * (query.num_tables - 1))
+
+    def test_wrong_method_count_raises(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        order = query.aliases
+        with pytest.raises(HintError):
+            db.plan_with_hints(query, order, ["hash"] * (len(order) + 3))
+
+    def test_unknown_method_raises(self, db, job_workload):
+        query = job_workload.all_queries[0].query
+        order = query.aliases
+        with pytest.raises(HintError):
+            db.plan_with_hints(query, order, ["sortmerge"] * (len(order) - 1))
+
+    def test_cross_join_order_allowed(self, db, job_workload):
+        """Hinted orders may force cross joins; the builder must not fail."""
+        query = next(wq.query for wq in job_workload.all_queries if wq.query.num_tables >= 5)
+        order = sorted(query.aliases)  # arbitrary order, probably disconnected
+        methods = ["hash"] * (len(order) - 1)
+        plan = db.plan_with_hints(query, order, methods).plan
+        assert plan_aliases(plan) == order
+
+
+class TestCardinality:
+    def test_scan_rows_at_least_one(self, db):
+        query = db.sql("SELECT COUNT(*) FROM title t WHERE t.production_year BETWEEN 1 AND 2")
+        assert db.estimator.scan_rows(query, "t") >= 1.0
+
+    def test_filter_reduces_estimate(self, db):
+        unfiltered = db.sql("SELECT COUNT(*) FROM title t")
+        filtered = db.sql("SELECT COUNT(*) FROM title t WHERE t.kind_id = 0")
+        assert db.estimator.scan_rows(filtered, "t") <= db.estimator.scan_rows(unfiltered, "t")
+
+    def test_join_selectivity_uses_ndv(self, db):
+        query = db.sql(
+            "SELECT COUNT(*) FROM title t, movie_info mi WHERE mi.movie_id = t.id"
+        )
+        sel = db.estimator.join_selectivity(query, query.join_predicates[0])
+        assert 0 < sel <= 1
+
+    def test_independence_assumption_on_correlated_pair(self, db):
+        """The estimator multiplies selectivities for planted-correlated
+        columns, underestimating consistent pairs — FOSS's raison d'etre."""
+        from repro.catalog.datagen import correlation_mapping
+
+        mapping = correlation_mapping(11, 113, 500)
+        base_value = 0
+        query = db.sql(
+            "SELECT COUNT(*) FROM movie_info mi "
+            f"WHERE mi.info_type_id = {base_value} AND mi.info = {int(mapping[base_value])}"
+        )
+        estimated = db.estimator.scan_rows(query, "mi")
+        plan = db.plan(query).plan
+        true_rows = db.execute(query, plan).output_rows
+        if true_rows > 20:  # only meaningful when the pair selects something
+            assert estimated < true_rows

@@ -1,0 +1,81 @@
+"""Model persistence tests: save/load trained FOSS weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.aam import AAMConfig
+from repro.core.persistence import load_trainer, save_trainer
+from repro.core.trainer import FossConfig, FossTrainer
+from repro.optimizer.plans import plan_signature
+
+
+def tiny_config(**overrides) -> FossConfig:
+    defaults = dict(
+        max_steps=3,
+        episodes_per_update=8,
+        bootstrap_episodes=6,
+        aam_retrain_threshold=40,
+        random_sample_episodes=1,
+        validation_budget=5,
+        seed=33,
+        aam=AAMConfig(d_model=32, d_embed=8, d_state=32, num_heads=2, num_layers=1, ff_hidden=32, epochs=1),
+    )
+    defaults.update(overrides)
+    return FossConfig(**defaults)
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_inference(self, job_workload, tmp_path):
+        trainer = FossTrainer(job_workload, tiny_config())
+        trainer.bootstrap()
+        query = job_workload.test[0].query
+        before = trainer.make_optimizer().optimize(query)
+
+        save_trainer(trainer, str(tmp_path / "ckpt"))
+
+        fresh = FossTrainer(job_workload, tiny_config(seed=99))
+        load_trainer(fresh, str(tmp_path / "ckpt"))
+        after = fresh.make_optimizer().optimize(query)
+        assert plan_signature(after.plan) == plan_signature(before.plan)
+
+    def test_roundtrip_preserves_aam_scores(self, job_workload, tmp_path):
+        trainer = FossTrainer(job_workload, tiny_config())
+        trainer.bootstrap()
+        db = job_workload.database
+        wq = job_workload.train[0]
+        encoded = trainer.encoder.encode(wq.query, db.plan(wq.query).plan)
+        before = trainer.aam.predict_score(encoded, 0.0, encoded, 0.5)
+
+        save_trainer(trainer, str(tmp_path / "ckpt"))
+        fresh = FossTrainer(job_workload, tiny_config(seed=55))
+        load_trainer(fresh, str(tmp_path / "ckpt"))
+        after = fresh.aam.predict_score(encoded, 0.0, encoded, 0.5)
+        assert before == after
+
+    def test_agent_count_mismatch_raises(self, job_workload, tmp_path):
+        trainer = FossTrainer(job_workload, tiny_config())
+        trainer.bootstrap()
+        save_trainer(trainer, str(tmp_path / "ckpt"))
+        two_agents = FossTrainer(job_workload, tiny_config(num_agents=2))
+        with pytest.raises(ValueError):
+            load_trainer(two_agents, str(tmp_path / "ckpt"))
+
+    def test_max_steps_mismatch_raises(self, job_workload, tmp_path):
+        trainer = FossTrainer(job_workload, tiny_config())
+        trainer.bootstrap()
+        save_trainer(trainer, str(tmp_path / "ckpt"))
+        other = FossTrainer(job_workload, tiny_config(max_steps=4))
+        with pytest.raises(ValueError):
+            load_trainer(other, str(tmp_path / "ckpt"))
+
+    def test_manifest_written(self, job_workload, tmp_path):
+        import json
+        import os
+
+        trainer = FossTrainer(job_workload, tiny_config())
+        trainer.bootstrap()
+        save_trainer(trainer, str(tmp_path / "ckpt"))
+        with open(os.path.join(str(tmp_path / "ckpt"), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["workload"] == "job"
+        assert manifest["num_agents"] == 1

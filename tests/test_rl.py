@@ -1,0 +1,185 @@
+"""RL component tests: GAE, rollout buffer, masked policy, PPO learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.gae import compute_gae
+from repro.rl.policy import ActorCritic, CategoricalMasked
+from repro.rl.ppo import PPOConfig, PPOTrainer
+
+
+class TestGAE:
+    def test_single_step_episode(self):
+        adv, ret = compute_gae(np.array([1.0]), np.array([0.0]), np.array([1.0]))
+        assert adv[0] == pytest.approx(1.0)
+        assert ret[0] == pytest.approx(1.0)
+
+    def test_no_bootstrap_across_done(self):
+        rewards = np.array([1.0, 1.0])
+        values = np.array([0.0, 0.0])
+        dones = np.array([1.0, 1.0])
+        adv, _ = compute_gae(rewards, values, dones, gamma=0.9, lam=0.9)
+        np.testing.assert_allclose(adv, [1.0, 1.0])
+
+    def test_bootstrap_uses_last_value(self):
+        adv, _ = compute_gae(np.array([0.0]), np.array([0.0]), np.array([0.0]),
+                             last_value=10.0, gamma=0.5, lam=1.0)
+        assert adv[0] == pytest.approx(5.0)
+
+    def test_matches_discounted_return_when_lambda_1(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        values = np.zeros(3)
+        dones = np.array([0.0, 0.0, 1.0])
+        _, returns = compute_gae(rewards, values, dones, gamma=0.5, lam=1.0)
+        assert returns[0] == pytest.approx(1 + 0.5 + 0.25)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compute_gae(np.ones(2), np.ones(3), np.ones(2))
+
+
+class TestRolloutBuffer:
+    def _transition(self, reward=1.0, done=True):
+        return Transition(
+            state=np.zeros(3), action=0, reward=reward, done=done,
+            value=0.0, log_prob=-0.5, action_mask=np.ones(2, dtype=bool),
+        )
+
+    def test_finalize_empty_raises(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().finalize()
+
+    def test_finalize_shapes(self):
+        buffer = RolloutBuffer()
+        for _ in range(5):
+            buffer.add(self._transition())
+        batch = buffer.finalize()
+        assert batch.states.shape == (5, 3)
+        assert batch.action_masks.shape == (5, 2)
+
+    def test_minibatch_iteration_covers_all(self):
+        buffer = RolloutBuffer()
+        for i in range(10):
+            buffer.add(self._transition(reward=float(i)))
+        batch = buffer.finalize()
+        seen = 0
+        for mini in RolloutBuffer.iter_minibatches(batch, 3, np.random.default_rng(0)):
+            seen += len(mini.actions)
+        assert seen == 10
+
+    def test_advantage_normalization(self):
+        buffer = RolloutBuffer()
+        for i in range(8):
+            buffer.add(self._transition(reward=float(i)))
+        batch = buffer.finalize()
+        minis = list(RolloutBuffer.iter_minibatches(batch, 8, np.random.default_rng(0)))
+        assert abs(minis[0].advantages.mean()) < 1e-8
+
+
+class TestCategoricalMasked:
+    def test_masked_actions_never_sampled(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(np.zeros((1, 4)))
+        mask = np.array([[True, False, True, False]])
+        dist = CategoricalMasked(logits, mask)
+        samples = {int(dist.sample(rng)[0]) for _ in range(100)}
+        assert samples <= {0, 2}
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalMasked(Tensor(np.zeros((1, 3))), np.zeros((1, 3), dtype=bool))
+
+    def test_mode_respects_mask(self):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        dist = CategoricalMasked(logits, np.array([[False, True]]))
+        assert dist.mode()[0] == 1
+
+    def test_entropy_uniform(self):
+        dist = CategoricalMasked(Tensor(np.zeros((1, 4))))
+        assert dist.entropy().data[0] == pytest.approx(np.log(4))
+
+    def test_log_prob_consistent(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        dist = CategoricalMasked(logits)
+        total = np.exp(dist.log_probs.data).sum()
+        assert total == pytest.approx(1.0)
+
+
+class TestActorCritic:
+    def test_act_deterministic_stable(self):
+        rng = np.random.default_rng(0)
+        policy = ActorCritic(4, 6, hidden_sizes=(16,), rng=rng)
+        mask = np.ones(6, dtype=bool)
+        a1, _, _ = policy.act(np.ones(4), mask, rng, deterministic=True)
+        a2, _, _ = policy.act(np.ones(4), mask, rng, deterministic=True)
+        assert a1 == a2
+
+    def test_act_respects_mask(self):
+        rng = np.random.default_rng(0)
+        policy = ActorCritic(4, 6, hidden_sizes=(16,), rng=rng)
+        mask = np.zeros(6, dtype=bool)
+        mask[3] = True
+        for _ in range(20):
+            action, _, _ = policy.act(np.ones(4), mask, rng)
+            assert action == 3
+
+    def test_value_scalar(self):
+        policy = ActorCritic(4, 6, rng=np.random.default_rng(1))
+        assert isinstance(policy.value(np.ones(4)), float)
+
+
+class TestPPOLearning:
+    def test_contextual_bandit(self):
+        """PPO must learn a state-dependent optimal action."""
+        rng = np.random.default_rng(0)
+        policy = ActorCritic(2, 2, hidden_sizes=(32,), rng=rng)
+        trainer = PPOTrainer(policy, PPOConfig(lr=5e-3, epochs=4, minibatch_size=32), rng=rng)
+        mask = np.ones(2, dtype=bool)
+        for _ in range(25):
+            buffer = trainer.make_buffer()
+            for _ in range(64):
+                context = int(rng.integers(2))
+                state = np.eye(2)[context]
+                action, log_prob, value = policy.act(state, mask, rng)
+                reward = 1.0 if action == context else 0.0
+                buffer.add(Transition(state, action, reward, True, value, log_prob, mask))
+            trainer.update(buffer.finalize())
+        for context in (0, 1):
+            action, _, _ = policy.act(np.eye(2)[context], mask, rng, deterministic=True)
+            assert action == context
+
+    def test_kl_early_stop_reports(self):
+        rng = np.random.default_rng(0)
+        policy = ActorCritic(2, 2, hidden_sizes=(8,), rng=rng)
+        trainer = PPOTrainer(policy, PPOConfig(lr=0.5, epochs=10, minibatch_size=8, target_kl=1e-4), rng=rng)
+        buffer = trainer.make_buffer()
+        mask = np.ones(2, dtype=bool)
+        for _ in range(32):
+            action, log_prob, value = policy.act(np.ones(2), mask, rng)
+            buffer.add(Transition(np.ones(2), action, rng.random(), True, value, log_prob, mask))
+        stats = trainer.update(buffer.finalize())
+        # The huge lr should trip the KL guard before all epochs finish.
+        assert stats["updates"] < 10 * 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gamma=st.floats(min_value=0.5, max_value=0.999),
+    rewards=st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=12),
+)
+def test_gae_zero_when_values_perfect(gamma, rewards):
+    """If values equal the true returns, advantages vanish (lam=1)."""
+    rewards = np.array(rewards)
+    n = len(rewards)
+    dones = np.zeros(n)
+    dones[-1] = 1.0
+    returns = np.zeros(n)
+    acc = 0.0
+    for i in range(n - 1, -1, -1):
+        acc = rewards[i] + gamma * acc
+        returns[i] = acc
+    adv, _ = compute_gae(rewards, returns, dones, gamma=gamma, lam=1.0)
+    np.testing.assert_allclose(adv, 0.0, atol=1e-9)
