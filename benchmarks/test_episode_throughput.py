@@ -1,0 +1,87 @@
+"""Episode-throughput micro-bench: sequential vs lockstep-batched execution.
+
+Measures episodes/sec of the FOSS hot path (policy forward + AAM advantage
+queries + plan completion per step) with ``episode_batch_size=1`` against a
+lockstep cohort, on identical query streams and freshly-initialized models.
+Results go to ``BENCH_throughput.json`` at the repo root so future PRs can
+track the trajectory.
+
+Run with ``pytest benchmarks/test_episode_throughput.py`` (excluded from
+tier-1 by ``testpaths``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.aam import AAMConfig
+from repro.core.trainer import FossConfig, FossTrainer
+from repro.workloads.job import build_job_workload
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+NUM_EPISODES = 128
+BATCH_SIZE = 64
+
+
+def bench_config(batch_size: int) -> FossConfig:
+    return FossConfig(
+        max_steps=3,
+        episode_batch_size=batch_size,
+        seed=23,
+        aam=AAMConfig(epochs=1),
+    )
+
+
+def episodes_per_second(workload, queries, batch_size: int, repeats: int = 3) -> float:
+    """Best-of-N episodes/sec over fresh trainers (model init not timed)."""
+    rates = []
+    for _ in range(repeats):
+        trainer = FossTrainer(workload, bench_config(batch_size))
+        runner = trainer.runners[0]
+        start = time.perf_counter()
+        episodes = runner.run(trainer.sim_env, queries)
+        elapsed = time.perf_counter() - start
+        assert len(episodes) == len(queries)
+        rates.append(len(queries) / elapsed)
+    return max(rates)
+
+
+@pytest.mark.bench
+def test_episode_throughput():
+    workload = build_job_workload(scale=0.03, seed=1)
+    eligible = [wq.query for wq in workload.train if wq.query.num_tables >= 3]
+    queries = [eligible[i % len(eligible)] for i in range(NUM_EPISODES)]
+
+    # Warm the database's shared plan/hint/latency caches so neither timed
+    # mode pays one-off planning costs the other skipped.
+    episodes_per_second(workload, queries, BATCH_SIZE, repeats=1)
+
+    sequential_eps = episodes_per_second(workload, queries, batch_size=1)
+    batched_eps = episodes_per_second(workload, queries, batch_size=BATCH_SIZE)
+    speedup = batched_eps / sequential_eps
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "num_episodes": NUM_EPISODES,
+                "episode_batch_size": BATCH_SIZE,
+                "sequential_eps": round(sequential_eps, 2),
+                "batched_eps": round(batched_eps, 2),
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print(
+        f"\n=== episode throughput: sequential {sequential_eps:.1f} eps, "
+        f"batched(B={BATCH_SIZE}) {batched_eps:.1f} eps, {speedup:.1f}x ==="
+    )
+    assert speedup >= 3.0, (
+        f"lockstep batching must be >= 3x sequential, got {speedup:.2f}x "
+        f"({sequential_eps:.1f} -> {batched_eps:.1f} eps)"
+    )

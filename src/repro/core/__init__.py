@@ -14,6 +14,8 @@ This package implements the paper's contribution:
   bounties and the minsteps penalty;
 * :mod:`repro.core.planner` — the DRL planner (Algorithm 1) over either
   environment;
+* :mod:`repro.core.batching` — lockstep batched episode execution (one
+  policy/AAM forward per cohort step instead of one per episode);
 * :mod:`repro.core.simenv` — the simulated environment Ê(Γp, θadv);
 * :mod:`repro.core.trainer` — the full training loop (Fig. 3);
 * :mod:`repro.core.inference` — the deployed FOSS optimizer (candidate
@@ -26,6 +28,7 @@ from repro.core.encoding import PlanEncoder, EncodedPlan
 from repro.core.aam import AdvantageModel, AAMConfig, AAMTrainer
 from repro.core.reward import AdvantageFunction, RewardConfig
 from repro.core.planner import Planner, PlannerConfig, Episode
+from repro.core.batching import BatchedEpisodeRunner
 from repro.core.simenv import SimulatedEnvironment, RealEnvironment
 from repro.core.trainer import FossTrainer, FossConfig
 from repro.core.inference import FossOptimizer
@@ -43,6 +46,7 @@ __all__ = [
     "Planner",
     "PlannerConfig",
     "Episode",
+    "BatchedEpisodeRunner",
     "SimulatedEnvironment",
     "RealEnvironment",
     "FossTrainer",

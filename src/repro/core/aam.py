@@ -97,17 +97,25 @@ class StateNetwork(Module):
 
     # ------------------------------------------------------------------
     def forward(self, plans: Sequence[EncodedPlan], steps: np.ndarray) -> Tensor:
-        """Batch of encoded plans + step fractions -> (B, d_state)."""
-        ops = np.stack([p.ops for p in plans])
-        tables = np.stack([p.tables for p in plans])
-        jl = np.stack([p.join_left_col for p in plans])
-        jr = np.stack([p.join_right_col for p in plans])
-        fcols = np.stack([p.filter_cols for p in plans])
-        fops = np.stack([p.filter_ops for p in plans])
-        fvals = np.stack([p.filter_vals for p in plans])
-        heights = np.stack([p.heights for p in plans])
-        structs = np.stack([p.structs for p in plans])
-        attn = np.stack([p.attention_mask for p in plans])
+        """Batch of encoded plans + step fractions -> (B, d_state).
+
+        Inputs are trimmed to the batch's largest real node count: padded
+        positions contribute *exactly* zero to real-node outputs (the
+        additive -1e9 attention mask underflows to 0 in the softmax), so
+        dropping them is bitwise-identical and skips the quadratic
+        attention cost of schema-wide padding.
+        """
+        trim = max(p.num_nodes for p in plans)
+        ops = np.stack([p.ops[:trim] for p in plans])
+        tables = np.stack([p.tables[:trim] for p in plans])
+        jl = np.stack([p.join_left_col[:trim] for p in plans])
+        jr = np.stack([p.join_right_col[:trim] for p in plans])
+        fcols = np.stack([p.filter_cols[:trim] for p in plans])
+        fops = np.stack([p.filter_ops[:trim] for p in plans])
+        fvals = np.stack([p.filter_vals[:trim] for p in plans])
+        heights = np.stack([p.heights[:trim] for p in plans])
+        structs = np.stack([p.structs[:trim] for p in plans])
+        attn = np.stack([p.attention_mask[:trim, :trim] for p in plans])
 
         node = self.op_embed(ops)                       # (B, N, d)
         table = self.table_embed(tables)
@@ -132,8 +140,42 @@ class StateNetwork(Module):
 
     def statevec(self, plan: EncodedPlan, step: float) -> np.ndarray:
         """Inference-mode state representation for a single plan."""
+        return self.statevecs([plan], np.array([step]))[0]
+
+    def statevecs(self, plans: Sequence[EncodedPlan], steps: np.ndarray) -> np.ndarray:
+        """Inference-mode state representations; (B, d_state).
+
+        Mixed-size batches are bucketed by node count so small plans do not
+        pay the largest plan's quadratic attention cost; outputs are
+        bitwise-identical to one padded forward (padding contributes
+        exactly zero, see :meth:`forward`).
+        """
+        steps = np.asarray(steps, dtype=np.float64)
         with no_grad():
-            return self.forward([plan], np.array([step])).data[0]
+            if len(plans) <= 1:
+                return self.forward(plans, steps).data
+            order = sorted(range(len(plans)), key=lambda i: plans[i].num_nodes)
+            # Cut into sub-batches where the node count jumps, but keep each
+            # sub-batch large enough that per-forward overhead stays
+            # amortized; any grouping yields bitwise-identical rows.
+            min_rows = 16
+            groups: List[List[int]] = [[order[0]]]
+            for i in order[1:]:
+                current = groups[-1]
+                if (
+                    plans[i].num_nodes != plans[current[-1]].num_nodes
+                    and len(current) >= min_rows
+                ):
+                    groups.append([i])
+                else:
+                    current.append(i)
+            if len(groups) == 1:
+                return self.forward(plans, steps).data
+            out = np.empty((len(plans), self.config.d_state))
+            for rows in groups:
+                idx = np.array(rows)
+                out[idx] = self.forward([plans[i] for i in rows], steps[idx]).data
+            return out
 
 
 class AdvantageModel(Module):
@@ -150,6 +192,17 @@ class AdvantageModel(Module):
         super().__init__()
         self.config = config if config is not None else AAMConfig()
         rng = rng if rng is not None else np.random.default_rng()
+        # Monotone weight version; consumers key score caches on it so a
+        # retrain invalidates everything derived from stale weights.
+        self.version = 0
+        # Shared inference statevec cache: the planner's policy states and
+        # the environments' advantage queries embed the same (query, plan,
+        # step) triples, so they must not pay for the transformer twice.
+        # Bounded: entries are cheap to recompute, so the cache is simply
+        # dropped when it outgrows the cap (long-lived deployed optimizers
+        # would otherwise accumulate one vector per plan forever).
+        self._statevec_cache: Dict[Tuple[int, str, str, float], np.ndarray] = {}
+        self.statevec_cache_capacity = 500_000
         self.state_network = StateNetwork(num_tables, num_columns, max_nodes, self.config, rng)
         d = self.config.d_state
         self.position_embed = Embedding(2, d, rng=rng)  # 0 = left, 1 = right
@@ -165,9 +218,14 @@ class AdvantageModel(Module):
         right_steps: np.ndarray,
     ) -> Tensor:
         """Logits of Adv(CP_l, CP_r) scores; shape (B, 3)."""
-        batch = len(left)
         vec_l = self.state_network(left, left_steps)
         vec_r = self.state_network(right, right_steps)
+        return self._head(vec_l, vec_r)
+
+    def _head(self, vec_l: Tensor, vec_r: Tensor) -> Tensor:
+        """The position-aware pairwise head; shared by training forward and
+        the cached-statevec inference path so they cannot drift."""
+        batch = vec_l.shape[0]
         pos_l = self.position_embed(np.zeros(batch, dtype=np.int64))
         pos_r = self.position_embed(np.ones(batch, dtype=np.int64))
         hidden_l = self.fc1(vec_l + pos_l).relu()
@@ -185,6 +243,78 @@ class AdvantageModel(Module):
         with no_grad():
             logits = self.forward(left, left_steps, right, right_steps)
         return np.argmax(logits.data, axis=-1)
+
+    def statevecs_cached(
+        self, items: Sequence[Tuple[str, str, EncodedPlan, float]]
+    ) -> np.ndarray:
+        """Statevecs for (query_sig, plan_sig, encoded, step_fraction) items.
+
+        Deduplicated misses share one bucketed state-network flush; hits are
+        free.  Keys carry :attr:`version`, so entries can never answer for
+        retrained weights (the cache is also cleared on retrain to bound
+        memory).
+        """
+        version = self.version
+        keys = [(version, qsig, psig, frac) for qsig, psig, _, frac in items]
+        resolved: Dict[Tuple[int, str, str, float], np.ndarray] = {}
+        miss_keys = []
+        miss_items = []
+        for key, item in zip(keys, items):
+            if key in resolved:
+                continue
+            hit = self._statevec_cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                resolved[key] = None  # placeholder, filled by the flush below
+                miss_keys.append(key)
+                miss_items.append(item)
+        if miss_items:
+            vecs = self.state_network.statevecs(
+                [encoded for _, _, encoded, _ in miss_items],
+                np.array([frac for _, _, _, frac in miss_items]),
+            )
+            if len(self._statevec_cache) + len(miss_keys) > self.statevec_cache_capacity:
+                self._statevec_cache.clear()
+            for key, vec in zip(miss_keys, vecs):
+                resolved[key] = vec
+                self._statevec_cache[key] = vec
+        return np.stack([resolved[key] for key in keys])
+
+    def predict_scores_from_statevecs(self, vec_l: np.ndarray, vec_r: np.ndarray) -> np.ndarray:
+        """Hard scores from precomputed statevecs (head-only inference).
+
+        Lets callers that cache state representations (the scoring
+        environments) skip the transformer entirely for plans they have
+        already embedded under the current weights.
+        """
+        with no_grad():
+            logits = self._head(Tensor(np.asarray(vec_l)), Tensor(np.asarray(vec_r)))
+        return np.argmax(logits.data, axis=-1)
+
+    def predict_scores_chunked(
+        self,
+        left: Sequence[EncodedPlan],
+        left_steps: np.ndarray,
+        right: Sequence[EncodedPlan],
+        right_steps: np.ndarray,
+        chunk_size: int = 256,
+    ) -> np.ndarray:
+        """Like :meth:`predict_scores` but bounds per-forward batch size.
+
+        Large flushes from the batched episode runner can accumulate
+        thousands of pairs; chunking keeps the stacked (B, N, N) attention
+        masks from blowing up memory.
+        """
+        if len(left) <= chunk_size:
+            return self.predict_scores(left, left_steps, right, right_steps)
+        out = np.empty(len(left), dtype=np.int64)
+        for start in range(0, len(left), chunk_size):
+            end = start + chunk_size
+            out[start:end] = self.predict_scores(
+                left[start:end], left_steps[start:end], right[start:end], right_steps[start:end]
+            )
+        return out
 
     def predict_score(self, left: EncodedPlan, left_step: float, right: EncodedPlan, right_step: float) -> int:
         return int(
@@ -253,6 +383,8 @@ class AAMTrainer:
         if not samples:
             return {"loss": 0.0, "accuracy": 0.0, "batches": 0}
         cfg = self.config
+        self.model.version += 1
+        self.model._statevec_cache.clear()
         total_loss = 0.0
         batches = 0
         for _ in range(cfg.epochs):
@@ -289,18 +421,16 @@ class AAMTrainer:
         self.optimizer.step()
         return float(loss.data)
 
-    def evaluate(self, samples: Sequence[AAMSample], batch_size: int = 128) -> float:
-        """Hard-label accuracy over a sample set."""
+    def evaluate(self, samples: Sequence[AAMSample], batch_size: int = 256) -> float:
+        """Hard-label accuracy over a sample set (one chunked batch pass)."""
         if not samples:
             return 0.0
-        correct = 0
-        for start in range(0, len(samples), batch_size):
-            chunk = samples[start : start + batch_size]
-            predicted = self.model.predict_scores(
-                [s.left for s in chunk],
-                np.array([s.left_step for s in chunk]),
-                [s.right for s in chunk],
-                np.array([s.right_step for s in chunk]),
-            )
-            correct += int((predicted == np.array([s.label for s in chunk])).sum())
-        return correct / len(samples)
+        predicted = self.model.predict_scores_chunked(
+            [s.left for s in samples],
+            np.array([s.left_step for s in samples]),
+            [s.right for s in samples],
+            np.array([s.right_step for s in samples]),
+            chunk_size=batch_size,
+        )
+        labels = np.array([s.label for s in samples])
+        return float((predicted == labels).mean())

@@ -72,6 +72,13 @@ class ActionSpace:
         self._override_index = {
             (a.join_pos, a.method): self.num_swaps + i for i, a in enumerate(self._overrides)
         }
+        # Masks depend only on (table count, method vector[, swapped leaves]),
+        # revisited every episode step — cache them instead of re-running the
+        # Python action scan. The method-vector key space is exponential in
+        # table count, so the caches are dropped at a cap.
+        self._legality_cache: dict = {}
+        self._post_swap_cache: dict = {}
+        self.mask_cache_capacity = 100_000
 
     # ------------------------------------------------------------------
     # Act(a, ICP)
@@ -109,15 +116,22 @@ class ActionSpace:
         override wastes a step and is treated as illegal).
         """
         k = icp.num_tables
-        mask = np.zeros(self.size, dtype=bool)
-        for i, swap in enumerate(self._swaps):
-            if swap.right_pos <= k:
-                mask[i] = True
-        for i, override in enumerate(self._overrides):
-            if override.join_pos <= icp.num_joins:
-                current = icp.methods[override.join_pos - 1]
-                mask[self.num_swaps + i] = override.method != current
-        return mask
+        key = (k, icp.methods)
+        cached = self._legality_cache.get(key)
+        if cached is None:
+            cached = np.zeros(self.size, dtype=bool)
+            for i, swap in enumerate(self._swaps):
+                if swap.right_pos <= k:
+                    cached[i] = True
+            for i, override in enumerate(self._overrides):
+                if override.join_pos <= icp.num_joins:
+                    current = icp.methods[override.join_pos - 1]
+                    cached[self.num_swaps + i] = override.method != current
+            cached.setflags(write=False)
+            if len(self._legality_cache) >= self.mask_cache_capacity:
+                self._legality_cache.clear()
+            self._legality_cache[key] = cached
+        return cached
 
     def post_swap_mask(self, icp: IncompletePlan, last_swap: SwapAction) -> np.ndarray:
         """``LimitSpace``: after a Swap, only the parents' overrides are legal.
@@ -125,17 +139,26 @@ class ActionSpace:
         The legal follow-ups are ``Override(Oi, *)`` where ``Oi`` is the
         parent join of either swapped leaf.
         """
-        mask = np.zeros(self.size, dtype=bool)
         parents = {
             icp.parent_join_of_leaf(last_swap.left_pos),
             icp.parent_join_of_leaf(last_swap.right_pos),
         }
-        for i, override in enumerate(self._overrides):
-            if override.join_pos in parents and override.join_pos <= icp.num_joins:
-                current = icp.methods[override.join_pos - 1]
-                mask[self.num_swaps + i] = override.method != current
-        if not mask.any():
-            # All parent overrides are no-ops; fall back to full legality so
-            # the agent is never left without a move.
-            return self.legality_mask(icp)
-        return mask
+        key = (icp.num_tables, icp.methods, tuple(sorted(parents)))
+        cached = self._post_swap_cache.get(key)
+        if cached is None:
+            mask = np.zeros(self.size, dtype=bool)
+            for i, override in enumerate(self._overrides):
+                if override.join_pos in parents and override.join_pos <= icp.num_joins:
+                    current = icp.methods[override.join_pos - 1]
+                    mask[self.num_swaps + i] = override.method != current
+            if not mask.any():
+                # All parent overrides are no-ops; fall back to full legality
+                # so the agent is never left without a move.
+                cached = self.legality_mask(icp)
+            else:
+                mask.setflags(write=False)
+                cached = mask
+            if len(self._post_swap_cache) >= self.mask_cache_capacity:
+                self._post_swap_cache.clear()
+            self._post_swap_cache[key] = cached
+        return cached

@@ -116,8 +116,9 @@ class ExecutionBuffer:
             records = list(per_query.values())
             if len(records) < 2:
                 continue
+            encodings = encoder.encode_many([(query, r.plan) for r in records])
             encoded = {
-                plan_signature(r.plan): encoder.encode(query, r.plan) for r in records
+                plan_signature(r.plan): enc for r, enc in zip(records, encodings)
             }
             pairs: List[Tuple[PlanRecord, PlanRecord]] = []
             for i, left in enumerate(records):

@@ -11,14 +11,15 @@ are the same node); unreachable pairs get attention score ~0.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import StatisticsCatalog
-from repro.optimizer.plans import JoinNode, PlanNode, ScanNode
+from repro.optimizer.plans import JoinNode, PlanNode, ScanNode, plan_signature
 from repro.sql.ast import Query
 
 # Operator vocabulary (0 is reserved for padding).
@@ -69,6 +70,11 @@ class PlanEncoder:
 
     Vocabulary sizes (tables, columns) come from the schema; constants are
     min-max normalized with column statistics when available.
+
+    Encodings are pure functions of (query, plan), so the encoder keeps one
+    shared LRU cache that every consumer (planner statevecs, simulated
+    environment, AAM sample building, inference) hits through :meth:`encode`
+    / :meth:`encode_many`.
     """
 
     def __init__(
@@ -76,10 +82,18 @@ class PlanEncoder:
         schema: Schema,
         max_nodes: int,
         statistics: Optional[StatisticsCatalog] = None,
+        cache_capacity: int = 200_000,
     ) -> None:
         self.schema = schema
         self.max_nodes = max_nodes
         self.statistics = statistics
+        self.cache_capacity = cache_capacity
+        self._cache: "OrderedDict[Tuple[str, str], EncodedPlan]" = OrderedDict()
+        # Scan-leaf features are invariant across all plans of a query
+        # (only order/methods/structure change), so they are derived once.
+        self._leaf_cache: Dict[Tuple[str, str], Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         # id 0 is the "none" sentinel for both vocabularies.
         self._table_ids: Dict[str, int] = {
             name: i + 1 for i, name in enumerate(schema.table_names)
@@ -99,7 +113,30 @@ class PlanEncoder:
 
     # ------------------------------------------------------------------
     def encode(self, query: Query, plan: PlanNode) -> EncodedPlan:
-        """Encode one complete plan (padding to ``max_nodes``)."""
+        """Encode one complete plan, hitting the shared cache first."""
+        key = (query.signature(), plan_signature(plan))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        encoded = self._encode_uncached(query, plan)
+        self._cache[key] = encoded
+        if len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+        return encoded
+
+    def encode_many(
+        self, pairs: Sequence[Tuple[Query, PlanNode]]
+    ) -> List[EncodedPlan]:
+        """Encode a batch of (query, plan) pairs through the shared cache."""
+        return [self.encode(query, plan) for query, plan in pairs]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _encode_uncached(self, query: Query, plan: PlanNode) -> EncodedPlan:
         nodes: List[PlanNode] = []
         parents: Dict[int, int] = {}
         structs: Dict[int, int] = {}
@@ -128,13 +165,12 @@ class PlanEncoder:
             enc.heights[i] = min(heights[i], self.max_nodes - 1)
             enc.structs[i] = structs[i]
             if isinstance(node, ScanNode):
-                enc.ops[i] = OP_INDEX_SCAN if node.scan_type == "index" else OP_SEQ_SCAN
-                enc.tables[i] = self._table_ids[node.table]
-                for slot, predicate in enumerate(node.filters[:MAX_FILTERS_PER_NODE]):
-                    table = query.tables[predicate.column.alias]
-                    enc.filter_cols[i, slot] = self._column_ids[(table, predicate.column.column)]
-                    enc.filter_ops[i, slot] = _PRED_OPS[predicate.op]
-                    enc.filter_vals[i, slot] = self._normalize(table, predicate.column.column, predicate.values[0])
+                op_id, table_id, fcols, fops, fvals = self._leaf_features(query, node)
+                enc.ops[i] = op_id
+                enc.tables[i] = table_id
+                enc.filter_cols[i] = fcols
+                enc.filter_ops[i] = fops
+                enc.filter_vals[i] = fvals
             else:
                 assert isinstance(node, JoinNode)
                 enc.ops[i] = _JOIN_OP_IDS[node.method]
@@ -151,6 +187,29 @@ class PlanEncoder:
         for i in range(n, self.max_nodes):
             enc.attention_mask[i, i] = True
         return enc
+
+    def _leaf_features(
+        self, query: Query, node: ScanNode
+    ) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached per-(query, scan) features: op, table id, filter slots."""
+        key = (query.signature(), plan_signature(node))
+        cached = self._leaf_cache.get(key)
+        if cached is not None:
+            return cached
+        if len(self._leaf_cache) >= self.cache_capacity:
+            self._leaf_cache.clear()
+        fcols = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.int64)
+        fops = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.int64)
+        fvals = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.float64)
+        for slot, predicate in enumerate(node.filters[:MAX_FILTERS_PER_NODE]):
+            table = query.tables[predicate.column.alias]
+            fcols[slot] = self._column_ids[(table, predicate.column.column)]
+            fops[slot] = _PRED_OPS[predicate.op]
+            fvals[slot] = self._normalize(table, predicate.column.column, predicate.values[0])
+        op_id = OP_INDEX_SCAN if node.scan_type == "index" else OP_SEQ_SCAN
+        features = (op_id, self._table_ids[node.table], fcols, fops, fvals)
+        self._leaf_cache[key] = features
+        return features
 
     # ------------------------------------------------------------------
     def _collect(

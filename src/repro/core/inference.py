@@ -6,23 +6,28 @@ selects the estimated-optimal plan by comparing candidates in temporal
 order (and, with multiple agents, tournaments the per-agent winners).
 Optimization time covers expert planning + model inference + plan
 completion — but no execution.
+
+The hot path is batched end to end: episodes run through the
+:class:`BatchedEpisodeRunner` (``optimize_many`` advances all queries'
+episodes in lockstep per agent), and each tournament's pairwise advantage
+queries are flushed through one :meth:`AdvantageModel.predict_scores` call.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.aam import AdvantageModel
 from repro.core.encoding import PlanEncoder
 from repro.core.icp import IncompletePlan
-from repro.core.planner import Planner
-from repro.core.simenv import EpisodeContext
+from repro.core.planner import Episode, Planner
+from repro.core.simenv import AdvantageRequest, EpisodeContext
 from repro.engine.database import Database
-from repro.optimizer.plans import PlanNode
+from repro.optimizer.plans import PlanNode, plan_signature
 from repro.sql.ast import Query
 
 
@@ -40,7 +45,9 @@ class _InferenceEnvironment:
     """A scoring-only environment: AAM advantages, no execution, no rewards.
 
     ``begin_episode`` must not execute anything (optimization time excludes
-    execution), so the context carries a dummy latency.
+    execution), so the context carries a dummy latency.  Advantage queries
+    go through a version-aware score cache and are flushed in batches, the
+    same mechanism the simulated training environment uses.
     """
 
     def __init__(self, database: Database, aam: AdvantageModel, encoder: PlanEncoder, max_steps: int) -> None:
@@ -48,6 +55,10 @@ class _InferenceEnvironment:
         self.aam = aam
         self.encoder = encoder
         self.max_steps = max_steps
+        # Dropped wholesale when it outgrows the cap: a deployed optimizer
+        # streaming distinct queries must not accumulate entries forever.
+        self._score_cache: Dict[Tuple[int, str, str, int, str, int], int] = {}
+        self.score_cache_capacity = 1_000_000
 
     def begin_episode(self, query: Query) -> EpisodeContext:
         planning = self.database.plan(query)
@@ -59,18 +70,72 @@ class _InferenceEnvironment:
             timeout_ms=float("inf"),
         )
 
-    def advantage(self, ctx, left_plan, left_step, right_plan, right_step) -> int:
-        return self.aam.predict_score(
-            self.encoder.encode(ctx.query, left_plan),
-            left_step / self.max_steps,
-            self.encoder.encode(ctx.query, right_plan),
-            right_step / self.max_steps,
+    # ------------------------------------------------------------------
+    def advantage_many(self, requests: Sequence[AdvantageRequest]) -> List[int]:
+        keys = [
+            (
+                self.aam.version,
+                ctx.query.signature(),
+                plan_signature(left_plan),
+                left_step,
+                plan_signature(right_plan),
+                right_step,
+            )
+            for ctx, left_plan, left_step, right_plan, right_step in requests
+        ]
+        resolved: Dict[Tuple[int, str, str, int, str, int], int] = {}
+        miss_keys: List[Tuple[int, str, str, int, str, int]] = []
+        miss_requests: List[AdvantageRequest] = []
+        for key, request in zip(keys, requests):
+            if key in resolved:
+                continue
+            hit = self._score_cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                resolved[key] = -1  # placeholder, filled by the flush below
+                miss_keys.append(key)
+                miss_requests.append(request)
+        if miss_requests:
+            sides = self._statevecs(
+                [(ctx.query, plan, step) for ctx, plan, step, _, _ in miss_requests]
+                + [(ctx.query, plan, step) for ctx, _, _, plan, step in miss_requests]
+            )
+            vec_l, vec_r = sides[: len(miss_requests)], sides[len(miss_requests) :]
+            scores = self.aam.predict_scores_from_statevecs(vec_l, vec_r)
+            if len(self._score_cache) + len(miss_keys) > self.score_cache_capacity:
+                self._score_cache.clear()
+            for key, score in zip(miss_keys, scores):
+                resolved[key] = int(score)
+                self._score_cache[key] = int(score)
+        return [resolved[key] for key in keys]
+
+    def _statevecs(self, items) -> np.ndarray:
+        return self.aam.statevecs_cached(
+            [
+                (
+                    query.signature(),
+                    plan_signature(plan),
+                    self.encoder.encode(query, plan),
+                    step / self.max_steps,
+                )
+                for query, plan, step in items
+            ]
         )
+
+    def advantage(self, ctx, left_plan, left_step, right_plan, right_step) -> int:
+        return self.advantage_many([(ctx, left_plan, left_step, right_plan, right_step)])[0]
 
     def episode_bounty(self, ctx, final_plan, final_step) -> float:
         return 0.0
 
+    def episode_bounty_many(self, items) -> List[float]:
+        return [0.0 for _ in items]
+
     def observe_plan(self, ctx, icp, plan, step) -> None:
+        return None
+
+    def observe_plan_many(self, items) -> None:
         return None
 
 
@@ -84,37 +149,85 @@ class FossOptimizer:
         aam: AdvantageModel,
         encoder: PlanEncoder,
         max_steps: int,
+        episode_batch_size: int = 32,
     ) -> None:
         if not planners:
             raise ValueError("FOSS needs at least one planner agent")
+        from repro.core.batching import BatchedEpisodeRunner
+
         self.database = database
         self.planners = list(planners)
         self.aam = aam
         self.encoder = encoder
         self.max_steps = max_steps
         self._environment = _InferenceEnvironment(database, aam, encoder, max_steps)
+        self._runners = [
+            BatchedEpisodeRunner(planner, batch_size=episode_batch_size)
+            for planner in self.planners
+        ]
 
     # ------------------------------------------------------------------
     def optimize(self, query: Query) -> OptimizedPlan:
         """Produce the estimated-optimal plan for the query."""
+        return self.optimize_many([query])[0]
+
+    def optimize_many(self, queries: Sequence[Query]) -> List[OptimizedPlan]:
+        """Optimize a batch of queries, amortizing every forward pass.
+
+        Each agent runs all queries' episodes in lockstep cohorts; the
+        per-query agent tournaments are then resolved with one batched
+        advantage flush.  Per-query optimization time is the batch wall
+        clock divided evenly — the paper's metric, amortized.
+        """
+        if not queries:
+            return []
         start = time.perf_counter()
-        finalists: List[Tuple[PlanNode, int]] = []
-        num_candidates = 0
-        for planner in self.planners:
-            episode = planner.run_episode(self._environment, query, deterministic=True)
-            finalists.append((episode.best_plan, episode.best_step))
-            num_candidates += len(episode.candidates)
-        best_plan, best_step = finalists[0]
-        for plan, step in finalists[1:]:
-            score = self._environment.advantage(
-                self._environment.begin_episode(query), best_plan, best_step, plan, step
+        per_agent: List[List[Episode]] = [
+            runner.run(self._environment, queries, deterministic=True)
+            for runner in self._runners
+        ]
+        results: List[OptimizedPlan] = []
+        contexts = [episodes[0].context for episodes in zip(*per_agent)]
+
+        # Tournament: all pairwise (earlier finalist, later finalist)
+        # advantage queries for every query, flushed in one batch.
+        requests: List[AdvantageRequest] = []
+        spans: List[Tuple[int, int]] = []
+        for qi in range(len(queries)):
+            finalists = [(agent[qi].best_plan, agent[qi].best_step) for agent in per_agent]
+            first = len(requests)
+            for i in range(len(finalists)):
+                for j in range(i + 1, len(finalists)):
+                    requests.append(
+                        (contexts[qi], finalists[i][0], finalists[i][1], finalists[j][0], finalists[j][1])
+                    )
+            spans.append((first, len(requests)))
+        scores = self._environment.advantage_many(requests) if requests else []
+
+        elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(queries)
+        for qi in range(len(queries)):
+            finalists = [(agent[qi].best_plan, agent[qi].best_step) for agent in per_agent]
+            num_candidates = sum(len(agent[qi].candidates) for agent in per_agent)
+            first, _ = spans[qi]
+            pair_score = {}
+            offset = first
+            for i in range(len(finalists)):
+                for j in range(i + 1, len(finalists)):
+                    pair_score[(i, j)] = scores[offset]
+                    offset += 1
+            # Temporal-order fold over the precomputed scores: the winner so
+            # far (always an earlier finalist) meets each later challenger.
+            best_index = 0
+            for challenger in range(1, len(finalists)):
+                if pair_score[(best_index, challenger)] > 0:
+                    best_index = challenger
+            best_plan, best_step = finalists[best_index]
+            results.append(
+                OptimizedPlan(
+                    plan=best_plan,
+                    optimization_ms=elapsed_ms,
+                    candidates_considered=num_candidates,
+                    chosen_step=best_step,
+                )
             )
-            if score > 0:
-                best_plan, best_step = plan, step
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        return OptimizedPlan(
-            plan=best_plan,
-            optimization_ms=elapsed_ms,
-            candidates_considered=num_candidates,
-            chosen_step=best_step,
-        )
+        return results

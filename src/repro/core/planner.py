@@ -16,15 +16,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.actions import ActionSpace, SwapAction
+from repro.core.actions import ActionSpace
 from repro.core.aam import AdvantageModel
 from repro.core.encoding import PlanEncoder
-from repro.core.icp import IncompletePlan, minsteps
+from repro.core.icp import IncompletePlan
 from repro.core.reward import AdvantageFunction, RewardConfig
 from repro.core.simenv import EpisodeContext
 from repro.engine.database import Database
 from repro.optimizer.plans import PlanNode, plan_signature
-from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.buffer import Transition
 from repro.rl.policy import ActorCritic
 from repro.rl.ppo import PPOConfig, PPOTrainer
 from repro.sql.ast import Query
@@ -88,8 +88,10 @@ class Planner:
             rng=self.rng,
         )
         self.ppo = PPOTrainer(self.policy, self.config.ppo, rng=self.rng)
-        # statevec cache, invalidated when the AAM retrains.
+        # statevec cache, invalidated when the AAM retrains; also dropped
+        # at the cap so a deployed (never-retrained) planner stays bounded.
         self._statevec_cache: Dict[Tuple[int, str, str, int], np.ndarray] = {}
+        self.statevec_cache_capacity = 200_000
         self._aam_version = 0
 
     # ------------------------------------------------------------------
@@ -99,13 +101,45 @@ class Planner:
         self._statevec_cache.clear()
 
     def statevec(self, query: Query, plan: PlanNode, step: int) -> np.ndarray:
-        key = (self._aam_version, query.signature(), plan_signature(plan), step)
-        cached = self._statevec_cache.get(key)
-        if cached is None:
-            encoded = self.encoder.encode(query, plan)
-            cached = self.aam.state_network.statevec(encoded, step / self.config.max_steps)
-            self._statevec_cache[key] = cached
-        return cached
+        return self.statevec_many([(query, plan, step)])[0]
+
+    def statevec_many(self, requests: List[Tuple[Query, PlanNode, int]]) -> np.ndarray:
+        """State representations for a batch of (query, plan, step) triples.
+
+        Cache misses (deduplicated) share one state-network forward pass;
+        returns a (B, d_state) array in request order.
+        """
+        keys = [
+            (self._aam_version, query.signature(), plan_signature(plan), step)
+            for query, plan, step in requests
+        ]
+        resolved: Dict[Tuple[int, str, str, int], np.ndarray] = {}
+        miss_keys = []
+        miss_requests = []
+        for key, request in zip(keys, requests):
+            if key in resolved:
+                continue
+            hit = self._statevec_cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                resolved[key] = None  # placeholder, filled by the flush below
+                miss_keys.append(key)
+                miss_requests.append(request)
+        if miss_requests:
+            encoded = self.encoder.encode_many([(q, p) for q, p, _ in miss_requests])
+            vecs = self.aam.statevecs_cached(
+                [
+                    (key[1], key[2], enc, step / self.config.max_steps)
+                    for key, enc, (_, _, step) in zip(miss_keys, encoded, miss_requests)
+                ]
+            )
+            if len(self._statevec_cache) + len(miss_keys) > self.statevec_cache_capacity:
+                self._statevec_cache.clear()
+            for key, vec in zip(miss_keys, vecs):
+                resolved[key] = vec
+                self._statevec_cache[key] = vec
+        return np.stack([resolved[key] for key in keys])
 
     # ------------------------------------------------------------------
     def run_episode(
@@ -114,71 +148,17 @@ class Planner:
         query: Query,
         deterministic: bool = False,
     ) -> Episode:
-        """One episode of Algorithm 1 against the given environment."""
-        cfg = self.config
-        ctx = environment.begin_episode(query)
-        icp = ctx.original_icp
-        plan = ctx.original_plan
-        seen = {icp.signature()}
-        best_plan, best_step = plan, 0
-        candidates = [CandidatePlan(plan=plan, icp=icp, step=0)]
-        transitions: List[Transition] = []
-        total_reward = 0.0
-        last_swap: Optional[SwapAction] = None
+        """One episode of Algorithm 1 against the given environment.
 
-        if icp.num_tables < 2:
-            return Episode(query, ctx, candidates, best_plan, best_step, transitions, 0.0)
+        Delegates to a single-episode cohort of the batched runner, so the
+        sequential and lockstep paths share one implementation (see
+        :mod:`repro.core.batching` for the batch-size-invariance contract).
+        """
+        from repro.core.batching import BatchedEpisodeRunner
 
-        for t in range(1, cfg.max_steps + 1):
-            if last_swap is not None:
-                mask = self.action_space.post_swap_mask(icp, last_swap)
-            else:
-                mask = self.action_space.legality_mask(icp)
-            state = self.statevec(query, plan, t - 1)
-            action_id, log_prob, value = self.policy.act(state, mask, self.rng, deterministic)
-            action = self.action_space.decode(action_id)
-            last_swap = action if isinstance(action, SwapAction) else None
-
-            new_icp = self.action_space.apply(action_id, icp)
-            new_plan = self.database.plan_with_hints(query, new_icp.order, new_icp.methods).plan
-
-            reward = self.advantage_fn.penalty(minsteps(ctx.original_icp, new_icp), t)
-            advantage_score = environment.advantage(ctx, best_plan, best_step, new_plan, t)
-            is_new = new_icp.signature() not in seen
-            if is_new:
-                seen.add(new_icp.signature())
-                reward += advantage_score
-                environment.observe_plan(ctx, new_icp, new_plan, t)
-                candidates.append(CandidatePlan(plan=new_plan, icp=new_icp, step=t))
-            if advantage_score > 0:
-                best_plan, best_step = new_plan, t
-            if t == cfg.max_steps and is_new:
-                bounty = environment.episode_bounty(ctx, best_plan, best_step)
-                reward += cfg.reward.eta * bounty
-
-            transitions.append(
-                Transition(
-                    state=state,
-                    action=action_id,
-                    reward=reward,
-                    done=t == cfg.max_steps,
-                    value=value,
-                    log_prob=log_prob,
-                    action_mask=mask,
-                )
-            )
-            total_reward += reward
-            icp, plan = new_icp, new_plan
-
-        return Episode(
-            query=query,
-            context=ctx,
-            candidates=candidates,
-            best_plan=best_plan,
-            best_step=best_step,
-            transitions=transitions,
-            total_reward=total_reward,
-        )
+        return BatchedEpisodeRunner(self, batch_size=1).run(
+            environment, [query], deterministic=deterministic
+        )[0]
 
     # ------------------------------------------------------------------
     def update_from_episodes(self, episodes: List[Episode]) -> Dict[str, float]:

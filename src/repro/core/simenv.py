@@ -17,7 +17,7 @@ is the state transitioner (plan completion happens in the planner itself via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,10 @@ class EpisodeContext:
     original_icp: IncompletePlan
     original_latency: float
     timeout_ms: float
+
+
+# One advantage query: (ctx, left_plan, left_step, right_plan, right_step).
+AdvantageRequest = Tuple["EpisodeContext", PlanNode, int, PlanNode, int]
 
 
 class RealEnvironment:
@@ -71,8 +75,20 @@ class RealEnvironment:
             timeout_ms=original_latency * DYNAMIC_TIMEOUT_FACTOR,
         )
 
-    def _latency(self, ctx: EpisodeContext, plan: PlanNode) -> float:
+    def _latency(self, ctx: EpisodeContext, plan: PlanNode, step: int = 0) -> float:
+        """Latency of a plan, memoized through the execution buffer.
+
+        Plans the environment already executed for this query are looked up
+        instead of re-run, and fresh executions are recorded — the same
+        bookkeeping :class:`SimulatedEnvironment` relies on.
+        """
+        record = self.buffer.latency_of(ctx.query, plan)
+        if record is not None:
+            return record.latency_ms
         result = self.database.execute(ctx.query, plan, timeout_ms=ctx.timeout_ms)
+        self.buffer.add(
+            ctx.query, plan, step=step, latency_ms=result.latency_ms, timed_out=result.timed_out
+        )
         return result.latency_ms
 
     def advantage(
@@ -83,19 +99,33 @@ class RealEnvironment:
         right_plan: PlanNode,
         right_step: int,
     ) -> int:
-        left = self._latency(ctx, left_plan)
-        right = self._latency(ctx, right_plan)
+        left = self._latency(ctx, left_plan, left_step)
+        right = self._latency(ctx, right_plan, right_step)
         return self.advantage_fn.score(left, right)
+
+    def advantage_many(self, requests: Sequence[AdvantageRequest]) -> List[int]:
+        """Batch API mirror; real executions are inherently sequential."""
+        return [self.advantage(*request) for request in requests]
 
     def episode_bounty(self, ctx: EpisodeContext, final_plan: PlanNode, final_step: int) -> float:
         refs = self.buffer.reference_set(ctx.query, ctx.original_latency)
-        final_latency = self._latency(ctx, final_plan)
+        final_latency = self._latency(ctx, final_plan, final_step)
         scores = [self.advantage_fn.score(ref_lat, final_latency) for ref_lat in refs.latencies]
         return self.advantage_fn.episode_bounty(refs.bounties, scores)
 
+    def episode_bounty_many(
+        self, items: Sequence[Tuple[EpisodeContext, PlanNode, int]]
+    ) -> List[float]:
+        return [self.episode_bounty(*item) for item in items]
+
     def observe_plan(self, ctx: EpisodeContext, icp: IncompletePlan, plan: PlanNode, step: int) -> None:
-        result = self.database.execute(ctx.query, plan, timeout_ms=ctx.timeout_ms)
-        self.buffer.add(ctx.query, plan, step=step, latency_ms=result.latency_ms, timed_out=result.timed_out)
+        self._latency(ctx, plan, step)
+
+    def observe_plan_many(
+        self, items: Sequence[Tuple[EpisodeContext, IncompletePlan, PlanNode, int]]
+    ) -> None:
+        for item in items:
+            self.observe_plan(*item)
 
 
 class SimulatedEnvironment:
@@ -118,7 +148,6 @@ class SimulatedEnvironment:
         self.max_steps = max_steps
         self.advantage_fn = advantage if advantage is not None else AdvantageFunction()
         self.aam_version = 0
-        self._encoding_cache: Dict[Tuple[str, str], EncodedPlan] = {}
         self._score_cache: Dict[Tuple[int, str, str, int, str, int], int] = {}
         # Promising plans awaiting validation in the real environment.
         self.validation_queue: List[Tuple[Query, PlanNode, int]] = []
@@ -145,17 +174,71 @@ class SimulatedEnvironment:
 
     # ------------------------------------------------------------------
     def bump_aam_version(self) -> None:
-        """Invalidate caches after the AAM was retrained."""
+        """Invalidate cached scores after the AAM was retrained.
+
+        (Statevecs live in the AAM's own version-keyed cache and cannot go
+        stale; only the discretized scores are keyed by this environment.)
+        """
         self.aam_version += 1
         self._score_cache.clear()
 
     def encode(self, query: Query, plan: PlanNode) -> EncodedPlan:
-        key = (query.signature(), plan_signature(plan))
-        cached = self._encoding_cache.get(key)
-        if cached is None:
-            cached = self.encoder.encode(query, plan)
-            self._encoding_cache[key] = cached
-        return cached
+        return self.encoder.encode(query, plan)
+
+    def _score_key(self, request: AdvantageRequest) -> Tuple[int, str, str, int, str, int]:
+        ctx, left_plan, left_step, right_plan, right_step = request
+        return (
+            self.aam_version,
+            ctx.query.signature(),
+            plan_signature(left_plan),
+            left_step,
+            plan_signature(right_plan),
+            right_step,
+        )
+
+    def advantage_many(self, requests: Sequence[AdvantageRequest]) -> List[int]:
+        """Resolve a batch of advantage queries through the score cache.
+
+        Cache misses (deduplicated within the batch) are flushed through one
+        :meth:`AdvantageModel.predict_scores` call, so a lockstep cohort of
+        episodes costs one AAM forward pass per step instead of one per
+        episode.
+        """
+        keys = [self._score_key(request) for request in requests]
+        miss_order: List[Tuple[int, str, str, int, str, int]] = []
+        miss_requests: List[AdvantageRequest] = []
+        seen_misses = set()
+        for key, request in zip(keys, requests):
+            if key not in self._score_cache and key not in seen_misses:
+                seen_misses.add(key)
+                miss_order.append(key)
+                miss_requests.append(request)
+        if miss_requests:
+            # One statevec flush covers both sides of every pair.
+            sides = self._statevecs(
+                [(ctx.query, plan, step) for ctx, plan, step, _, _ in miss_requests]
+                + [(ctx.query, plan, step) for ctx, _, _, plan, step in miss_requests]
+            )
+            vec_l, vec_r = sides[: len(miss_requests)], sides[len(miss_requests) :]
+            scores = self.aam.predict_scores_from_statevecs(vec_l, vec_r)
+            for key, score in zip(miss_order, scores):
+                self._score_cache[key] = int(score)
+        return [self._score_cache[key] for key in keys]
+
+    def _statevecs(self, items: Sequence[Tuple[Query, PlanNode, int]]) -> np.ndarray:
+        """Statevecs for (query, plan, step) triples via the AAM's shared
+        version-keyed cache (also hit by the planner's policy states)."""
+        return self.aam.statevecs_cached(
+            [
+                (
+                    query.signature(),
+                    plan_signature(plan),
+                    self.encoder.encode(query, plan),
+                    step / self.max_steps,
+                )
+                for query, plan, step in items
+            ]
+        )
 
     def advantage(
         self,
@@ -165,49 +248,69 @@ class SimulatedEnvironment:
         right_plan: PlanNode,
         right_step: int,
     ) -> int:
-        key = (
-            self.aam_version,
-            ctx.query.signature(),
-            plan_signature(left_plan),
-            left_step,
-            plan_signature(right_plan),
-            right_step,
-        )
-        cached = self._score_cache.get(key)
-        if cached is None:
-            cached = self.aam.predict_score(
-                self.encode(ctx.query, left_plan),
-                left_step / self.max_steps,
-                self.encode(ctx.query, right_plan),
-                right_step / self.max_steps,
-            )
-            self._score_cache[key] = cached
-        return cached
+        return self.advantage_many([(ctx, left_plan, left_step, right_plan, right_step)])[0]
+
+    def _bounty_requests(
+        self, ctx: EpisodeContext, final_plan: PlanNode, final_step: int
+    ) -> List[AdvantageRequest]:
+        """The three reference-vs-final advantage queries behind one bounty.
+
+        adv_i is estimated by the AAM for (best, median); the original
+        plan's score is also AAM-estimated for consistency with §V.
+        """
+        ref_records = self.buffer.reference_records(ctx.query, ctx.original_latency)
+        requests: List[AdvantageRequest] = [
+            (ctx, record.plan, record.step, final_plan, final_step)
+            for record in ref_records[:2]
+        ]
+        while len(requests) < 3:
+            requests.append((ctx, ctx.original_plan, 0, final_plan, final_step))
+        return requests
 
     def episode_bounty(self, ctx: EpisodeContext, final_plan: PlanNode, final_step: int) -> float:
-        refs = self.buffer.reference_set(ctx.query, ctx.original_latency)
-        ref_records = self.buffer.reference_records(ctx.query, ctx.original_latency)
-        # adv_i estimated by the AAM for (best, median); the original plan's
-        # score is also AAM-estimated for consistency with §V.
-        scores: List[int] = []
-        for record in ref_records[:2]:
-            scores.append(
-                self.advantage(ctx, record.plan, record.step, final_plan, final_step)
+        return self.episode_bounty_many([(ctx, final_plan, final_step)])[0]
+
+    def episode_bounty_many(
+        self, items: Sequence[Tuple[EpisodeContext, PlanNode, int]]
+    ) -> List[float]:
+        """Episode bounties for a batch, with one AAM flush for all refs."""
+        requests: List[AdvantageRequest] = []
+        for ctx, final_plan, final_step in items:
+            requests.extend(self._bounty_requests(ctx, final_plan, final_step))
+        scores = self.advantage_many(requests)
+        bounties: List[float] = []
+        for i, (ctx, _, _) in enumerate(items):
+            refs = self.buffer.reference_set(ctx.query, ctx.original_latency)
+            bounties.append(
+                self.advantage_fn.episode_bounty(refs.bounties, scores[3 * i : 3 * i + 3])
             )
-        while len(scores) < 2:
-            scores.append(self.advantage(ctx, ctx.original_plan, 0, final_plan, final_step))
-        scores.append(self.advantage(ctx, ctx.original_plan, 0, final_plan, final_step))
-        return self.advantage_fn.episode_bounty(refs.bounties, scores)
+        return bounties
 
     def observe_plan(self, ctx: EpisodeContext, icp: IncompletePlan, plan: PlanNode, step: int) -> None:
         """Collect plans the AAM deems promising for later validation."""
+        self.observe_plan_many([(ctx, icp, plan, step)])
+
+    def observe_plan_many(
+        self, items: Sequence[Tuple[EpisodeContext, IncompletePlan, PlanNode, int]]
+    ) -> None:
+        """Batched promising-plan collection (one AAM flush for the cohort)."""
         if len(self.validation_queue) >= self.validation_capacity:
             return
-        if self.buffer.latency_of(ctx.query, plan) is not None:
+        pending: List[Tuple[EpisodeContext, PlanNode, int]] = []
+        for ctx, _icp, plan, step in items:
+            if self.buffer.latency_of(ctx.query, plan) is not None:
+                continue
+            pending.append((ctx, plan, step))
+        if not pending:
             return
-        score = self.advantage(ctx, ctx.original_plan, 0, plan, step)
-        if score > 0:
-            self.validation_queue.append((ctx.query, plan, step))
+        scores = self.advantage_many(
+            [(ctx, ctx.original_plan, 0, plan, step) for ctx, plan, step in pending]
+        )
+        for (ctx, plan, step), score in zip(pending, scores):
+            if len(self.validation_queue) >= self.validation_capacity:
+                return
+            if score > 0:
+                self.validation_queue.append((ctx.query, plan, step))
 
     def drain_validation_queue(self) -> List[Tuple[Query, PlanNode, int]]:
         queue, self.validation_queue = self.validation_queue, []

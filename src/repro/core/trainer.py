@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.aam import AAMConfig, AAMTrainer, AdvantageModel
 from repro.core.actions import ActionSpace
+from repro.core.batching import BatchedEpisodeRunner
 from repro.core.buffer import ExecutionBuffer
 from repro.core.encoding import PlanEncoder
 from repro.core.planner import Episode, Planner, PlannerConfig
@@ -49,6 +50,7 @@ class FossConfig:
     aam_retrain_threshold: int = 120   # new executions before AAM retrains
     random_sample_episodes: int = 10   # real-env episodes per iteration
     validation_budget: int = 200      # promising plans executed per iteration
+    episode_batch_size: int = 32      # lockstep cohort size (1 = sequential)
     num_agents: int = 1
     use_simulated: bool = True
     use_penalty: bool = True
@@ -58,9 +60,14 @@ class FossConfig:
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def __post_init__(self) -> None:
-        self.planner.max_steps = self.max_steps
+        if self.episode_batch_size < 1:
+            raise ValueError("episode_batch_size must be >= 1")
+        # Derive a private planner config instead of mutating the caller's
+        # object: a PlannerConfig shared across FossConfigs must not alias.
+        planner = replace(self.planner, max_steps=self.max_steps)
         if not self.use_penalty:
-            self.planner.reward = replace(self.planner.reward, penalty_gamma=0.0)
+            planner = replace(planner, reward=replace(planner.reward, penalty_gamma=0.0))
+        self.planner = planner
 
 
 @dataclass
@@ -116,6 +123,10 @@ class FossTrainer:
                 )
             )
 
+        self.runners = [
+            BatchedEpisodeRunner(planner, batch_size=self.config.episode_batch_size)
+            for planner in self.planners
+        ]
         self.real_env = RealEnvironment(self.database, self.buffer, self.advantage_fn)
         self.sim_env = SimulatedEnvironment(
             self.database,
@@ -157,10 +168,10 @@ class FossTrainer:
         Fig. 3: before the first AAM training, candidate plans from the
         (random) planner are executed to form the initial training pool.
         """
-        for planner in self.planners:
+        for runner in self.runners:
             episodes = self.config.bootstrap_episodes // max(len(self.planners), 1)
-            for wq in self._sample_queries(max(episodes, 1)):
-                planner.run_episode(self.real_env, wq.query)
+            queries = [wq.query for wq in self._sample_queries(max(episodes, 1))]
+            runner.run(self.real_env, queries)
         return self.train_aam()
 
     def train_aam(self) -> Dict[str, float]:
@@ -188,11 +199,9 @@ class FossTrainer:
         episodes: List[Episode] = []
         per_agent = self.config.episodes_per_update // len(self.planners)
         rewards: List[float] = []
-        for planner in self.planners:
-            agent_episodes = [
-                planner.run_episode(environment, wq.query)
-                for wq in self._sample_queries(per_agent)
-            ]
+        for planner, runner in zip(self.planners, self.runners):
+            queries = [wq.query for wq in self._sample_queries(per_agent)]
+            agent_episodes = runner.run(environment, queries)
             planner.update_from_episodes(agent_episodes)
             episodes.extend(agent_episodes)
             rewards.extend(e.total_reward for e in agent_episodes)
@@ -209,8 +218,8 @@ class FossTrainer:
 
         # Periodic random sampling in the real environment.
         if self.config.use_simulated:
-            for wq in self._sample_queries(self.config.random_sample_episodes):
-                self.planners[iteration % len(self.planners)].run_episode(self.real_env, wq.query)
+            queries = [wq.query for wq in self._sample_queries(self.config.random_sample_episodes)]
+            self.runners[iteration % len(self.runners)].run(self.real_env, queries)
 
         # AAM retraining cadence.
         aam_trained = False
@@ -259,4 +268,5 @@ class FossTrainer:
             aam=self.aam,
             encoder=self.encoder,
             max_steps=self.config.max_steps,
+            episode_batch_size=self.config.episode_batch_size,
         )

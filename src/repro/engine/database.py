@@ -94,6 +94,10 @@ class Database:
         self.hint_builder = HintedPlanBuilder(self.enumerator)
         self.executor = ExecutionEngine(self.storage, self.runtime_cost_model)
         self._plan_cache: Dict[str, PlanningResult] = {}
+        # Dropped wholesale at the cap: exploration visits new ICPs forever,
+        # and completed plan trees are too heavy to keep unboundedly.
+        self._hint_cache: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult] = {}
+        self.hint_cache_capacity = 200_000
         self._latency_cache: Dict[Tuple[str, str], _CachedLatency] = {}
         self.executions = 0  # real-environment execution counter (cache misses)
 
@@ -130,11 +134,25 @@ class Database:
         join_order: Sequence[str],
         join_methods: Sequence[str],
     ) -> PlanningResult:
-        """``Γp(Q, ICP)``: complete an incomplete plan into an executable one."""
+        """``Γp(Q, ICP)``: complete an incomplete plan into an executable one.
+
+        Completion is deterministic, so results are memoized by
+        (query, join order, join methods); episode loops revisit the same
+        one-step edits constantly and the cached wall time is the first
+        run's.
+        """
+        key = (query.signature(), tuple(join_order), tuple(join_methods))
+        cached = self._hint_cache.get(key)
+        if cached is not None:
+            return cached
         start = time.perf_counter()
         plan = self.hint_builder.build(query, join_order, join_methods)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        return PlanningResult(plan=plan, planning_ms=elapsed_ms)
+        result = PlanningResult(plan=plan, planning_ms=elapsed_ms)
+        if len(self._hint_cache) >= self.hint_cache_capacity:
+            self._hint_cache.clear()
+        self._hint_cache[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # execution
@@ -196,8 +214,10 @@ class Database:
 
     def clear_caches(self) -> None:
         self._plan_cache.clear()
+        self._hint_cache.clear()
         self._latency_cache.clear()
 
     def clear_plan_cache(self) -> None:
         """Drop cached plans only (latencies stay; used for timing studies)."""
         self._plan_cache.clear()
+        self._hint_cache.clear()

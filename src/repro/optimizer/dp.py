@@ -234,12 +234,16 @@ class PlanEnumerator:
 
     def _greedy(self, query: Query, options: OptimizerOptions) -> PlanNode:
         """GEQO-flavoured greedy fallback for very large queries."""
-        aliases = set(query.aliases)
-        scans = {alias: self.best_scan(query, alias) for alias in aliases}
+        # Keep the query's alias order for every tie-break: iterating raw
+        # sets would break cost ties by string hash, making the expert's
+        # plan depend on PYTHONHASHSEED.
+        alias_order = list(query.aliases)
+        aliases = set(alias_order)
+        scans = {alias: self.best_scan(query, alias) for alias in alias_order}
         methods = options.allowed_methods()
         prefix = list(options.leading_prefix)
         # Start from the forced prefix head, else the most selective scan.
-        start = prefix[0] if prefix else min(aliases, key=lambda a: scans[a].est_rows)
+        start = prefix[0] if prefix else min(alias_order, key=lambda a: scans[a].est_rows)
         plan: PlanNode = scans[start]
         rows = scans[start].est_rows
         joined = {start}
@@ -249,7 +253,7 @@ class PlanEnumerator:
             if len(joined) < len(prefix):
                 forced = prefix[len(joined)]
             choices = []
-            candidates = [forced] if forced else sorted(aliases - joined)
+            candidates = [forced] if forced else [a for a in alias_order if a not in joined]
             for alias in candidates:
                 if forced is None and not any(graph.has_edge(alias, j) for j in joined):
                     continue
@@ -260,7 +264,10 @@ class PlanEnumerator:
                     op_cost = self.join_cost(query, method, rows, scan, out_rows, predicates)
                     choices.append((op_cost + scan.est_cost, alias, method, out_rows, predicates))
             if not choices:  # disconnected: cross join with the smallest table
-                alias = min(aliases - joined, key=lambda a: scans[a].est_rows)
+                alias = min(
+                    (a for a in alias_order if a not in joined),
+                    key=lambda a: scans[a].est_rows,
+                )
                 predicates = []
                 scan = scans[alias]
                 out_rows = self.estimator.join_rows(query, rows, scan.est_rows, predicates)

@@ -90,12 +90,24 @@ def plan_depth(plan: PlanNode) -> int:
 
 
 def plan_signature(plan: PlanNode) -> str:
-    """A stable textual identity for caching executed latencies."""
+    """A stable textual identity for caching executed latencies.
+
+    Memoized on the node: plan structure is never mutated after
+    construction (edits build new trees), and signatures key every hot
+    cache (latencies, encodings, statevecs, advantage scores), so the
+    recursive walk must not repeat per lookup.
+    """
+    cached = getattr(plan, "_signature", None)
+    if cached is not None:
+        return cached
     if isinstance(plan, ScanNode):
         filters = ",".join(sorted(str(f) for f in plan.filters))
-        return f"{plan.scan_type}({plan.alias}|{filters})"
-    assert isinstance(plan, JoinNode)
-    return f"{plan.method}({plan_signature(plan.left)},{plan_signature(plan.right)})"
+        signature = f"{plan.scan_type}({plan.alias}|{filters})"
+    else:
+        assert isinstance(plan, JoinNode)
+        signature = f"{plan.method}({plan_signature(plan.left)},{plan_signature(plan.right)})"
+    plan._signature = signature
+    return signature
 
 
 def explain(plan: PlanNode, indent: int = 0) -> str:

@@ -33,6 +33,18 @@ class CategoricalMasked:
         noise = rng.gumbel(size=self.logits.shape)
         return np.argmax(self.logits.data + noise, axis=-1)
 
+    def sample_rows(self, rngs: Sequence[np.random.Generator]) -> np.ndarray:
+        """Sample row ``i`` from ``rngs[i]``.
+
+        Used by the batched episode runner: each lockstep episode owns its
+        generator, so trajectories are identical for every batch size (a
+        row draws the same gumbel noise whether it runs alone or in a
+        cohort).
+        """
+        num_actions = self.logits.shape[-1]
+        noise = np.stack([rng.gumbel(size=num_actions) for rng in rngs])
+        return np.argmax(self.logits.data + noise, axis=-1)
+
     def mode(self) -> np.ndarray:
         return np.argmax(self.logits.data, axis=-1)
 
@@ -84,12 +96,30 @@ class ActorCritic(Module):
         """Select an action for one state; returns (action, log_prob, value)."""
         state2d = np.atleast_2d(np.asarray(state, dtype=np.float64))
         mask2d = None if mask is None else np.atleast_2d(mask)
+        actions, log_probs, values = self.act_batch(
+            state2d, mask2d, [rng], deterministic=deterministic
+        )
+        return int(actions[0]), float(log_probs[0]), float(values[0])
+
+    def act_batch(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray],
+        rngs: Sequence[Optional[np.random.Generator]],
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Select actions for a batch of states in one forward pass.
+
+        ``rngs`` supplies one generator per row (ignored when
+        ``deterministic``); returns (actions, log_probs, values) arrays of
+        shape (B,).
+        """
+        states = np.asarray(states, dtype=np.float64)
         with no_grad():
-            dist, values = self.forward(Tensor(state2d), mask2d)
-            action = int(dist.mode()[0]) if deterministic else int(dist.sample(rng)[0])
-            log_prob = float(dist.log_prob(np.array([action])).data[0])
-            value = float(values.data[0])
-        return action, log_prob, value
+            dist, values = self.forward(Tensor(states), masks)
+            actions = dist.mode() if deterministic else dist.sample_rows(rngs)
+            log_probs = dist.log_prob(actions).data
+        return actions, log_probs, values.data
 
     def value(self, state: np.ndarray) -> float:
         state2d = np.atleast_2d(np.asarray(state, dtype=np.float64))

@@ -147,5 +147,14 @@ class Query:
         return f"SELECT {select} FROM {from_clause}{where};"
 
     def signature(self) -> str:
-        """A stable identity string (used as cache key)."""
-        return self.name or self.to_sql()
+        """A stable identity string (used as cache key).
+
+        Memoized: unnamed queries fall back to re-rendering their SQL,
+        which is far too slow for the per-step cache lookups of the
+        episode hot path.
+        """
+        cached = getattr(self, "_signature", None)
+        if cached is None:
+            cached = self.name or self.to_sql()
+            self._signature = cached
+        return cached
