@@ -6,6 +6,10 @@ Public API highlights:
   Stack-like benchmark (dataset + query split);
 * :class:`repro.engine.Database` — the expert engine (Selinger-style
   optimizer + virtual-time executor), the PostgreSQL stand-in;
+* :class:`repro.engine.EngineBackend` — the protocol every consumer
+  depends on, with :class:`repro.engine.LocalBackend` (in-process) and
+  :class:`repro.engine.ShardedBackend` (multiprocessing worker pool,
+  selected by ``FossConfig.engine_workers``) implementations;
 * :class:`repro.core.FossTrainer` / :class:`repro.core.FossConfig` — train
   the plan doctor end to end;
 * :class:`repro.core.FossOptimizer` — the deployable optimizer
@@ -16,7 +20,7 @@ Public API highlights:
 """
 
 from repro.core import FossConfig, FossOptimizer, FossTrainer
-from repro.engine import Database, Dataset
+from repro.engine import Database, Dataset, EngineBackend, LocalBackend, ShardedBackend
 from repro.workloads import build_workload_by_name
 
 __version__ = "1.0.0"
@@ -27,6 +31,9 @@ __all__ = [
     "FossOptimizer",
     "Database",
     "Dataset",
+    "EngineBackend",
+    "LocalBackend",
+    "ShardedBackend",
     "build_workload_by_name",
     "__version__",
 ]

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.baselines.value_model import PlanFeaturizer, ValueModel
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.plans import JOIN_METHODS, JoinNode, PlanNode, ScanNode
 from repro.sql.ast import Query
 from repro.workloads.base import WorkloadQuery
@@ -37,7 +37,7 @@ class BalsaOptimizer:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         beam_width: int = 4,
         epsilon: float = 0.25,
         seed: int = 17,

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.value_model import PlanFeaturizer, ValueModel
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.dp import OptimizerOptions
 from repro.sql.ast import Query
 from repro.workloads.base import WorkloadQuery
@@ -38,7 +38,7 @@ class BaoOptimizer:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         hint_sets: Sequence[FrozenSet[str]] = DEFAULT_HINT_SETS,
         epsilon: float = 0.2,
         seed: int = 11,

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.baselines.value_model import PlanFeaturizer, ValueModel
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.dp import OptimizerOptions
 from repro.optimizer.plans import PlanNode
 from repro.sql.ast import Query
@@ -46,7 +46,7 @@ class HybridQOOptimizer:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         mcts_budget: int = 24,
         top_k: int = 3,
         max_prefix_length: int = 3,

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.baselines.value_model import PlanFeaturizer, ValueModel
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.plans import JOIN_METHODS, JoinNode, PlanNode
 from repro.sql.ast import Query
 from repro.workloads.base import WorkloadQuery
@@ -40,7 +40,7 @@ class LogerOptimizer:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         epsilon: float = 0.25,
         seed: int = 19,
     ) -> None:

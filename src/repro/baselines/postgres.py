@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.sql.ast import Query
 
 
@@ -12,7 +12,7 @@ class PostgresOptimizer:
 
     name = "PostgreSQL"
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: EngineBackend) -> None:
         self.database = database
 
     def optimize(self, query: Query) -> OptimizedPlan:

@@ -30,11 +30,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.actions import SwapAction
+from repro.core.buffer import Transition
 from repro.core.icp import IncompletePlan, minsteps
 from repro.core.planner import CandidatePlan, Episode, Planner
 from repro.core.simenv import EpisodeContext
 from repro.optimizer.plans import PlanNode
-from repro.rl.buffer import Transition
 from repro.sql.ast import Query
 
 DEFAULT_EPISODE_BATCH_SIZE = 32
@@ -136,13 +136,17 @@ class BatchedEpisodeRunner:
         planner = self.planner
         cfg = planner.config
 
+        # One batch call fetches every episode's original plan/latency (a
+        # sharded engine fans the cohort out across workers).
+        contexts = self._begin_episode_many(environment, queries)
+
         lives: List[_LiveEpisode] = []
-        for query in queries:
+        for query, ctx in zip(queries, contexts):
             # Child generators are drawn in episode order *before* any
             # stepping, so the parent stream advances identically for every
-            # batch size.
+            # batch size (environment calls never touch the planner's rng,
+            # so drawing after begin_episode keeps the same parent stream).
             rng = None if deterministic else spawn_episode_rng(planner.rng)
-            ctx = environment.begin_episode(query)
             lives.append(_LiveEpisode(query, ctx, rng))
 
         active = [ep for ep in lives if ep.icp.num_tables >= 2]
@@ -179,14 +183,18 @@ class BatchedEpisodeRunner:
             states, masks, [ep.rng for ep in active], deterministic
         )
 
-        # Phase 2: apply actions and complete the edited ICPs (Γp(Q, ICP)).
+        # Phase 2: apply actions and complete the edited ICPs (Γp(Q, ICP))
+        # through one engine batch call for the cohort.
         for ep, action_id in zip(active, actions):
             action = space.decode(int(action_id))
             ep.last_swap = action if isinstance(action, SwapAction) else None
             ep.new_icp = space.apply(int(action_id), ep.icp)
-            ep.new_plan = planner.database.plan_with_hints(
-                ep.query, ep.new_icp.order, ep.new_icp.methods
-            ).plan
+        plannings = self._plan_with_hints_many(
+            planner.database,
+            [(ep.query, ep.new_icp.order, ep.new_icp.methods) for ep in active],
+        )
+        for ep, planning in zip(active, plannings):
+            ep.new_plan = planning.plan
 
         # Phase 3: flush every best-vs-new advantage query in one batch.
         scores = self._advantage_many(
@@ -239,9 +247,23 @@ class BatchedEpisodeRunner:
             ep.icp, ep.plan = ep.new_icp, ep.new_plan
 
     # ------------------------------------------------------------------
-    # environment batch APIs with sequential fallbacks, so any object that
-    # satisfies the original single-call protocol still works.
+    # environment/engine batch APIs with sequential fallbacks, so any
+    # object that satisfies the original single-call protocol still works.
     # ------------------------------------------------------------------
+    @staticmethod
+    def _begin_episode_many(environment, queries) -> List[EpisodeContext]:
+        batch = getattr(environment, "begin_episode_many", None)
+        if batch is not None:
+            return batch(queries)
+        return [environment.begin_episode(query) for query in queries]
+
+    @staticmethod
+    def _plan_with_hints_many(database, requests):
+        batch = getattr(database, "plan_with_hints_many", None)
+        if batch is not None:
+            return batch(requests)
+        return [database.plan_with_hints(*request) for request in requests]
+
     @staticmethod
     def _advantage_many(environment, requests) -> List[int]:
         batch = getattr(environment, "advantage_many", None)

@@ -26,7 +26,7 @@ from repro.core.encoding import PlanEncoder
 from repro.core.icp import IncompletePlan
 from repro.core.planner import Episode, Planner
 from repro.core.simenv import AdvantageRequest, EpisodeContext
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.plans import PlanNode, plan_signature
 from repro.sql.ast import Query
 
@@ -50,7 +50,7 @@ class _InferenceEnvironment:
     same mechanism the simulated training environment uses.
     """
 
-    def __init__(self, database: Database, aam: AdvantageModel, encoder: PlanEncoder, max_steps: int) -> None:
+    def __init__(self, database: EngineBackend, aam: AdvantageModel, encoder: PlanEncoder, max_steps: int) -> None:
         self.database = database
         self.aam = aam
         self.encoder = encoder
@@ -61,14 +61,20 @@ class _InferenceEnvironment:
         self.score_cache_capacity = 1_000_000
 
     def begin_episode(self, query: Query) -> EpisodeContext:
-        planning = self.database.plan(query)
-        return EpisodeContext(
-            query=query,
-            original_plan=planning.plan,
-            original_icp=IncompletePlan.extract(planning.plan),
-            original_latency=1.0,
-            timeout_ms=float("inf"),
-        )
+        return self.begin_episode_many([query])[0]
+
+    def begin_episode_many(self, queries: Sequence[Query]) -> List[EpisodeContext]:
+        plannings = self.database.plan_many(queries)
+        return [
+            EpisodeContext(
+                query=query,
+                original_plan=planning.plan,
+                original_icp=IncompletePlan.extract(planning.plan),
+                original_latency=1.0,
+                timeout_ms=float("inf"),
+            )
+            for query, planning in zip(queries, plannings)
+        ]
 
     # ------------------------------------------------------------------
     def advantage_many(self, requests: Sequence[AdvantageRequest]) -> List[int]:
@@ -144,7 +150,7 @@ class FossOptimizer:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         planners: Sequence[Planner],
         aam: AdvantageModel,
         encoder: PlanEncoder,

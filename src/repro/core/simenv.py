@@ -26,7 +26,7 @@ from repro.core.buffer import ExecutionBuffer
 from repro.core.encoding import EncodedPlan, PlanEncoder
 from repro.core.icp import IncompletePlan
 from repro.core.reward import AdvantageFunction
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.optimizer.plans import PlanNode, plan_signature
 from repro.sql.ast import Query
 
@@ -54,7 +54,7 @@ class RealEnvironment:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         buffer: ExecutionBuffer,
         advantage: Optional[AdvantageFunction] = None,
     ) -> None:
@@ -64,16 +64,58 @@ class RealEnvironment:
 
     # ------------------------------------------------------------------
     def begin_episode(self, query: Query) -> EpisodeContext:
-        planning = self.database.plan(query)
-        original_latency = self.database.execute(query, planning.plan).latency_ms
-        self.buffer.add(query, planning.plan, step=0, latency_ms=original_latency, timed_out=False)
-        return EpisodeContext(
-            query=query,
-            original_plan=planning.plan,
-            original_icp=IncompletePlan.extract(planning.plan),
-            original_latency=original_latency,
-            timeout_ms=original_latency * DYNAMIC_TIMEOUT_FACTOR,
+        return self.begin_episode_many([query])[0]
+
+    def begin_episode_many(self, queries: Sequence[Query]) -> List[EpisodeContext]:
+        """Fetch original plans and latencies for a cohort in two engine
+        batch calls (a sharded backend fans both out across workers)."""
+        plannings = self.database.plan_many(queries)
+        results = self.database.execute_many(
+            [(query, planning.plan, None) for query, planning in zip(queries, plannings)]
         )
+        contexts: List[EpisodeContext] = []
+        for query, planning, result in zip(queries, plannings, results):
+            self.buffer.add(
+                query, planning.plan, step=0, latency_ms=result.latency_ms, timed_out=False
+            )
+            contexts.append(
+                EpisodeContext(
+                    query=query,
+                    original_plan=planning.plan,
+                    original_icp=IncompletePlan.extract(planning.plan),
+                    original_latency=result.latency_ms,
+                    timeout_ms=result.latency_ms * DYNAMIC_TIMEOUT_FACTOR,
+                )
+            )
+        return contexts
+
+    def _ensure_latencies(self, items: Sequence[Tuple[EpisodeContext, PlanNode, int]]) -> None:
+        """Execute (in one engine batch call) every plan the buffer lacks.
+
+        Plans are executed and recorded in first-need order — exactly the
+        order the sequential path would have inserted them — so downstream
+        consumers (reference sets, AAM sample generation) see an identical
+        buffer regardless of batching or worker count.
+        """
+        pending: List[Tuple[EpisodeContext, PlanNode, int]] = []
+        seen = set()
+        for ctx, plan, step in items:
+            key = (ctx.query.signature(), plan_signature(plan))
+            if key in seen:
+                continue
+            if self.buffer.latency_of(ctx.query, plan) is not None:
+                continue
+            seen.add(key)
+            pending.append((ctx, plan, step))
+        if not pending:
+            return
+        results = self.database.execute_many(
+            [(ctx.query, plan, ctx.timeout_ms) for ctx, plan, _step in pending]
+        )
+        for (ctx, plan, step), result in zip(pending, results):
+            self.buffer.add(
+                ctx.query, plan, step=step, latency_ms=result.latency_ms, timed_out=result.timed_out
+            )
 
     def _latency(self, ctx: EpisodeContext, plan: PlanNode, step: int = 0) -> float:
         """Latency of a plan, memoized through the execution buffer.
@@ -104,7 +146,19 @@ class RealEnvironment:
         return self.advantage_fn.score(left, right)
 
     def advantage_many(self, requests: Sequence[AdvantageRequest]) -> List[int]:
-        """Batch API mirror; real executions are inherently sequential."""
+        """Resolve a batch of advantage queries with one execution flush.
+
+        Both sides of every pair are executed through one
+        :meth:`EngineBackend.execute_many` call (missing plans only), then
+        scored from the buffer.
+        """
+        self._ensure_latencies(
+            [
+                side
+                for ctx, left_plan, left_step, right_plan, right_step in requests
+                for side in ((ctx, left_plan, left_step), (ctx, right_plan, right_step))
+            ]
+        )
         return [self.advantage(*request) for request in requests]
 
     def episode_bounty(self, ctx: EpisodeContext, final_plan: PlanNode, final_step: int) -> float:
@@ -116,7 +170,29 @@ class RealEnvironment:
     def episode_bounty_many(
         self, items: Sequence[Tuple[EpisodeContext, PlanNode, int]]
     ) -> List[float]:
-        return [self.episode_bounty(*item) for item in items]
+        """Batched bounties, identical to the sequential per-item loop.
+
+        Reference sets are snapshotted *before* the final plans are
+        executed — the sequential order of operations — which is exchange-
+        safe only while the items' queries are distinct.  (Episodes driven
+        by the runner never reach the execute fallback anyway: every final
+        plan was observed, executed and recorded during its episode.)
+        Duplicate-query batches fall back to the exact sequential loop.
+        """
+        signatures = [ctx.query.signature() for ctx, _final_plan, _final_step in items]
+        if len(set(signatures)) < len(items):
+            return [self.episode_bounty(*item) for item in items]
+        refs = [
+            self.buffer.reference_set(ctx.query, ctx.original_latency)
+            for ctx, _final_plan, _final_step in items
+        ]
+        self._ensure_latencies(items)
+        bounties: List[float] = []
+        for (ctx, final_plan, final_step), ref in zip(items, refs):
+            final_latency = self._latency(ctx, final_plan, final_step)
+            scores = [self.advantage_fn.score(ref_lat, final_latency) for ref_lat in ref.latencies]
+            bounties.append(self.advantage_fn.episode_bounty(ref.bounties, scores))
+        return bounties
 
     def observe_plan(self, ctx: EpisodeContext, icp: IncompletePlan, plan: PlanNode, step: int) -> None:
         self._latency(ctx, plan, step)
@@ -124,8 +200,7 @@ class RealEnvironment:
     def observe_plan_many(
         self, items: Sequence[Tuple[EpisodeContext, IncompletePlan, PlanNode, int]]
     ) -> None:
-        for item in items:
-            self.observe_plan(*item)
+        self._ensure_latencies([(ctx, plan, step) for ctx, _icp, plan, step in items])
 
 
 class SimulatedEnvironment:
@@ -133,7 +208,7 @@ class SimulatedEnvironment:
 
     def __init__(
         self,
-        database: Database,
+        database: EngineBackend,
         buffer: ExecutionBuffer,
         aam: AdvantageModel,
         encoder: PlanEncoder,
@@ -155,22 +230,44 @@ class SimulatedEnvironment:
 
     # ------------------------------------------------------------------
     def begin_episode(self, query: Query) -> EpisodeContext:
-        planning = self.database.plan(query)
-        # The original plan's latency is known from prior real interaction;
-        # fall back to executing it once (originals are always executed).
-        record = self.buffer.latency_of(query, planning.plan)
-        if record is None:
-            original_latency = self.database.execute(query, planning.plan).latency_ms
-            self.buffer.add(query, planning.plan, 0, original_latency, False)
-        else:
+        return self.begin_episode_many([query])[0]
+
+    def begin_episode_many(self, queries: Sequence[Query]) -> List[EpisodeContext]:
+        """Original plans for a cohort in one engine batch call.
+
+        The original plan's latency is usually known from prior real
+        interaction; the fallbacks (originals are always executed once) are
+        flushed through a second batch call.
+        """
+        plannings = self.database.plan_many(queries)
+        missing: List[int] = []
+        seen_missing = set()
+        for index, (query, planning) in enumerate(zip(queries, plannings)):
+            if self.buffer.latency_of(query, planning.plan) is None:
+                key = (query.signature(), plan_signature(planning.plan))
+                if key not in seen_missing:
+                    seen_missing.add(key)
+                    missing.append(index)
+        if missing:
+            results = self.database.execute_many(
+                [(queries[i], plannings[i].plan, None) for i in missing]
+            )
+            for index, result in zip(missing, results):
+                self.buffer.add(queries[index], plannings[index].plan, 0, result.latency_ms, False)
+        contexts: List[EpisodeContext] = []
+        for query, planning in zip(queries, plannings):
+            record = self.buffer.latency_of(query, planning.plan)
             original_latency = record.latency_ms
-        return EpisodeContext(
-            query=query,
-            original_plan=planning.plan,
-            original_icp=IncompletePlan.extract(planning.plan),
-            original_latency=original_latency,
-            timeout_ms=original_latency * DYNAMIC_TIMEOUT_FACTOR,
-        )
+            contexts.append(
+                EpisodeContext(
+                    query=query,
+                    original_plan=planning.plan,
+                    original_icp=IncompletePlan.extract(planning.plan),
+                    original_latency=original_latency,
+                    timeout_ms=original_latency * DYNAMIC_TIMEOUT_FACTOR,
+                )
+            )
+        return contexts
 
     # ------------------------------------------------------------------
     def bump_aam_version(self) -> None:

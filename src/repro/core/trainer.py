@@ -33,8 +33,8 @@ from repro.core.buffer import ExecutionBuffer
 from repro.core.encoding import PlanEncoder
 from repro.core.planner import Episode, Planner, PlannerConfig
 from repro.core.reward import AdvantageFunction, RewardConfig
-from repro.core.simenv import RealEnvironment, SimulatedEnvironment
-from repro.engine.database import Database
+from repro.core.simenv import DYNAMIC_TIMEOUT_FACTOR, RealEnvironment, SimulatedEnvironment
+from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
 from repro.rl.ppo import PPOConfig
 from repro.sql.ast import Query
 from repro.workloads.base import Workload, WorkloadQuery
@@ -51,6 +51,7 @@ class FossConfig:
     random_sample_episodes: int = 10   # real-env episodes per iteration
     validation_budget: int = 200      # promising plans executed per iteration
     episode_batch_size: int = 32      # lockstep cohort size (1 = sequential)
+    engine_workers: int = 1           # expert-engine processes (1 = in-process LocalBackend)
     num_agents: int = 1
     use_simulated: bool = True
     use_penalty: bool = True
@@ -62,6 +63,8 @@ class FossConfig:
     def __post_init__(self) -> None:
         if self.episode_batch_size < 1:
             raise ValueError("episode_batch_size must be >= 1")
+        if self.engine_workers < 1:
+            raise ValueError("engine_workers must be >= 1")
         # Derive a private planner config instead of mutating the caller's
         # object: a PlannerConfig shared across FossConfigs must not alias.
         planner = replace(self.planner, max_steps=self.max_steps)
@@ -88,8 +91,10 @@ class FossTrainer:
 
     def __init__(self, workload: Workload, config: Optional[FossConfig] = None) -> None:
         self.workload = workload
-        self.database = workload.database
         self.config = config if config is not None else FossConfig()
+        # engine_workers selects the backend: 1 = the workload's in-process
+        # engine, >1 = a sharded worker pool built from the workload's spec.
+        self.database: EngineBackend = make_backend(workload, self.config.engine_workers)
         self.rng = np.random.default_rng(self.config.seed)
 
         max_nodes = 2 * max(workload.max_query_tables, 2)
@@ -206,13 +211,23 @@ class FossTrainer:
             episodes.extend(agent_episodes)
             rewards.extend(e.total_reward for e in agent_episodes)
 
-        # Promising-plan validation (§VI-C4).
+        # Promising-plan validation (§VI-C4), flushed through the engine's
+        # batch APIs so a sharded backend validates across workers.
         if self.config.use_simulated and self.config.use_validation:
-            queue = self.sim_env.drain_validation_queue()
-            for query, plan, step in queue[: self.config.validation_budget]:
-                original = self.database.original_latency(query)
-                result = self.database.execute(query, plan, timeout_ms=1.5 * original)
-                self.buffer.add(query, plan, step, result.latency_ms, result.timed_out)
+            queue = self.sim_env.drain_validation_queue()[: self.config.validation_budget]
+            if queue:
+                plannings = self.database.plan_many([query for query, _plan, _step in queue])
+                originals = self.database.execute_many(
+                    [(query, planning.plan, None) for (query, _, _), planning in zip(queue, plannings)]
+                )
+                results = self.database.execute_many(
+                    [
+                        (query, plan, DYNAMIC_TIMEOUT_FACTOR * original.latency_ms)
+                        for (query, plan, _), original in zip(queue, originals)
+                    ]
+                )
+                for (query, plan, step), result in zip(queue, results):
+                    self.buffer.add(query, plan, step, result.latency_ms, result.timed_out)
         elif self.config.use_simulated:
             self.sim_env.drain_validation_queue()  # Off-Validation: discard
 
@@ -270,3 +285,15 @@ class FossTrainer:
             max_steps=self.config.max_steps,
             episode_batch_size=self.config.episode_batch_size,
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine backend (shuts down sharded worker pools)."""
+        if isinstance(self.database, ShardedBackend):
+            self.database.close()
+
+    def __enter__(self) -> "FossTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

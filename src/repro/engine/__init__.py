@@ -1,5 +1,24 @@
-"""The expert engine facade — this reproduction's stand-in for PostgreSQL."""
+"""The expert engine — this reproduction's stand-in for PostgreSQL.
 
+:mod:`repro.engine.database` is the concrete in-process engine;
+:mod:`repro.engine.backend` defines the :class:`EngineBackend` protocol the
+rest of the system depends on, plus the local and sharded implementations.
+"""
+
+from repro.engine.backend import (
+    EngineBackend,
+    LocalBackend,
+    ShardedBackend,
+    make_backend,
+)
 from repro.engine.database import Database, Dataset, PlanningResult
 
-__all__ = ["Database", "Dataset", "PlanningResult"]
+__all__ = [
+    "Database",
+    "Dataset",
+    "PlanningResult",
+    "EngineBackend",
+    "LocalBackend",
+    "ShardedBackend",
+    "make_backend",
+]

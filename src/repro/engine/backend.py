@@ -1,0 +1,490 @@
+"""Pluggable engine backends: the narrow interface FOSS talks to.
+
+Everything above the engine (planner, environments, trainer, baselines,
+experiment harness) depends on :class:`EngineBackend` — roughly
+``sql / plan / complete-hint / execute / stats`` plus their batch mirrors —
+never on a concrete engine class.  Two implementations ship:
+
+* :class:`LocalBackend` — the in-process expert engine (identical to
+  :class:`~repro.engine.database.Database`, which itself satisfies the
+  protocol; the subclass exists so call sites can name the local
+  implementation explicitly and build one from a spec).
+* :class:`ShardedBackend` — a multiprocessing worker pool.  Each worker
+  rebuilds the dataset deterministically from a picklable
+  :class:`~repro.workloads.base.WorkloadSpec` and serves
+  plan / complete-hint / execute RPCs with its own caches.  Batch calls are
+  routed by request key (CRC of the query/plan signature), so repeat visits
+  to the same ICP or plan land on the same worker and stay cache-hot.
+
+Determinism: the engine is a pure function of the dataset (virtual-time
+execution, deterministic DP enumeration, seeded statistics), and workers
+rebuild that dataset from the same spec — so every backend returns bitwise
+identical plans and latencies for the same request, regardless of worker
+count.  Trajectory parity across ``engine_workers`` follows (see
+``tests/test_sharding.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from collections import OrderedDict
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.engine.database import Database, Dataset, PlanningResult
+from repro.executor.engine import ExecutionResult
+from repro.optimizer.dp import OptimizerOptions
+from repro.optimizer.plans import PlanNode, plan_signature
+from repro.sql.ast import Query
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """What the rest of the system may ask of an expert engine.
+
+    Batch methods (``*_many``) are first-class: the lockstep episode runner
+    raises one batch call per cohort phase, which a sharded backend fans out
+    across workers and a local backend resolves in a loop.
+    """
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset: ...
+    @property
+    def schema(self): ...
+    @property
+    def statistics(self): ...
+    @property
+    def executions(self) -> int: ...
+
+    # -- SQL entry point ----------------------------------------------
+    def sql(self, text: str, name: str = "") -> Query: ...
+
+    # -- planning (Γp(Q, /) and Γp(Q, ICP)) ---------------------------
+    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult: ...
+
+    def plan_many(
+        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
+    ) -> List[PlanningResult]: ...
+
+    def plan_with_hints(
+        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+    ) -> PlanningResult: ...
+
+    def plan_with_hints_many(
+        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
+    ) -> List[PlanningResult]: ...
+
+    # -- execution (Ψp) -----------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        plan: PlanNode,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> ExecutionResult: ...
+
+    def execute_many(
+        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
+    ) -> List[ExecutionResult]: ...
+
+    def original_latency(self, query: Query) -> float: ...
+
+    # -- introspection -------------------------------------------------
+    def explain(self, plan: PlanNode) -> str: ...
+    def clear_caches(self) -> None: ...
+    def stats(self) -> Dict[str, float]: ...
+
+
+class LocalBackend(Database):
+    """The in-process engine, behavior-identical to :class:`Database`."""
+
+    @classmethod
+    def from_spec(cls, spec) -> "LocalBackend":
+        """Build from a :class:`~repro.workloads.base.WorkloadSpec`."""
+        return cls(spec.build_dataset())
+
+
+# ----------------------------------------------------------------------
+# sharded backend
+# ----------------------------------------------------------------------
+
+def _engine_worker_main(conn, spec) -> None:
+    """Worker loop: rebuild the engine from the spec, serve batch RPCs.
+
+    Responses are ``("ok", (payload, executions))`` — the cumulative
+    execution count rides along so the parent can aggregate cache-miss
+    statistics without an extra round trip — or ``("err", message)``.
+    """
+    try:
+        database = spec.build_database()
+    except Exception as exc:  # pragma: no cover - startup failure path
+        conn.send(("err", f"worker failed to build engine: {exc!r}"))
+        conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        kind, payload = message
+        try:
+            if kind == "ping":
+                result = None
+            elif kind == "plan_many":
+                queries, options = payload
+                result = database.plan_many(queries, options)
+            elif kind == "hint_many":
+                result = database.plan_with_hints_many(payload)
+            elif kind == "execute_many":
+                result = database.execute_many(payload)
+            elif kind == "clear_caches":
+                database.clear_caches()
+                result = None
+            else:
+                raise ValueError(f"unknown engine RPC {kind!r}")
+            conn.send(("ok", (result, database.executions)))
+        except Exception as exc:
+            conn.send(("err", f"{kind} failed: {exc!r}"))
+    conn.close()
+
+
+class ShardedBackend:
+    """A worker-pool engine: batch calls fan out across CPU cores.
+
+    The parent keeps a local :class:`Database` for metadata (schema,
+    statistics, SQL binding, EXPLAIN) and as the fallback for singleton
+    calls that never enter the hot path.  Heavy batch calls — hinted-plan
+    completion and plan execution — are scattered to workers, routed by
+    request key so each worker's caches stay hot for its shard of the key
+    space.  Completed hint plans are additionally memoized parent-side
+    (bounded LRU) because episode loops revisit the same one-step edits
+    constantly.
+    """
+
+    def __init__(
+        self,
+        spec,
+        num_workers: int,
+        database: Optional[Database] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.spec = spec
+        self.num_workers = num_workers
+        self.local = database if database is not None else spec.build_database()
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        ctx = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        self._worker_executions = [0] * num_workers
+        for _ in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_engine_worker_main, args=(child_conn, spec), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        # Block until every worker has rebuilt its engine, so the first
+        # batch call measures steady-state throughput, not startup.
+        for worker in range(num_workers):
+            self._conns[worker].send(("ping", None))
+        startup_error: Optional[Exception] = None
+        for worker in range(num_workers):
+            _result, error = self._recv(worker)
+            startup_error = startup_error or error
+        if startup_error is not None:
+            self.close()
+            raise startup_error
+        # Parent-side memos for the two planning RPCs: episode loops
+        # revisit the same queries and one-step edits constantly, and a
+        # memo hit skips the IPC round trip entirely.
+        self._plan_memo: "OrderedDict[str, PlanningResult]" = OrderedDict()
+        self._hint_memo: "OrderedDict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult]" = OrderedDict()
+        self.plan_memo_capacity = self.local.hint_cache_capacity
+        self.hint_memo_capacity = self.local.hint_cache_capacity
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _recv(self, worker: int):
+        """Read one response; returns (result, error).
+
+        Callers awaiting several workers must drain *every* pending
+        response before raising — a response left unread would answer the
+        next, unrelated request and silently misalign all later results.
+        """
+        try:
+            status, payload = self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            return None, RuntimeError(f"engine worker {worker} died: {exc!r}")
+        if status != "ok":
+            return None, RuntimeError(f"engine worker {worker}: {payload}")
+        result, executions = payload
+        self._worker_executions[worker] = executions
+        return result, None
+
+    def _route(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.num_workers
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedBackend is closed")
+
+    def _scatter(self, kind: str, items: Sequence, keys: Sequence[str]) -> List:
+        """Send each item to the worker owning its key; gather in order."""
+        self._check_open()
+        groups: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(self._route(key), []).append(index)
+        for worker, indices in groups.items():
+            if kind == "plan_many":
+                queries, options = items
+                payload = ([queries[i] for i in indices], options)
+            else:
+                payload = [items[i] for i in indices]
+            self._conns[worker].send((kind, payload))
+        out: List = [None] * len(keys)
+        first_error: Optional[Exception] = None
+        for worker, indices in groups.items():
+            results, error = self._recv(worker)
+            if error is not None:
+                first_error = first_error or error
+                continue
+            for index, result in zip(indices, results):
+                out[index] = result
+        if first_error is not None:
+            raise first_error
+        return out
+
+    def _broadcast(self, kind: str) -> None:
+        for worker in range(self.num_workers):
+            self._conns[worker].send((kind, None))
+        first_error: Optional[Exception] = None
+        for worker in range(self.num_workers):
+            _result, error = self._recv(worker)
+            first_error = first_error or error
+        if first_error is not None:
+            raise first_error
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck-worker path
+                proc.terminate()
+                proc.join(timeout=1)
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering varies
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # metadata: served by the parent-side engine
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.local.dataset
+
+    @property
+    def schema(self):
+        return self.local.schema
+
+    @property
+    def statistics(self):
+        return self.local.statistics
+
+    @property
+    def storage(self):
+        return self.local.storage
+
+    @property
+    def executions(self) -> int:
+        """Real executions across the pool (worker + parent cache misses)."""
+        return self.local.executions + sum(self._worker_executions)
+
+    def sql(self, text: str, name: str = "") -> Query:
+        return self.local.sql(text, name=name)
+
+    def explain(self, plan: PlanNode) -> str:
+        return self.local.explain(plan)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+        return self.plan_many([query], options)[0]
+
+    def plan_many(
+        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
+    ) -> List[PlanningResult]:
+        self._check_open()
+        suffix = "" if options is None else f"@{options.signature()}"
+        keys = [query.signature() + suffix for query in queries]
+        resolved: Dict[str, PlanningResult] = {}
+        miss_keys: List[str] = []
+        miss_queries: List[Query] = []
+        for key, query in zip(keys, queries):
+            if key in resolved:
+                continue
+            hit = self._plan_memo.get(key)
+            if hit is not None:
+                self._plan_memo.move_to_end(key)
+                resolved[key] = hit
+            else:
+                resolved[key] = None  # placeholder, filled below
+                miss_keys.append(key)
+                miss_queries.append(query)
+        if miss_queries:
+            results = self._scatter("plan_many", (miss_queries, options), miss_keys)
+            for key, result in zip(miss_keys, results):
+                resolved[key] = result
+                while len(self._plan_memo) >= self.plan_memo_capacity:
+                    self._plan_memo.popitem(last=False)
+                self._plan_memo[key] = result
+        return [resolved[key] for key in keys]
+
+    def plan_with_hints(
+        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+    ) -> PlanningResult:
+        return self.plan_with_hints_many([(query, join_order, join_methods)])[0]
+
+    def plan_with_hints_many(
+        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
+    ) -> List[PlanningResult]:
+        self._check_open()
+        normalized = [
+            (query, tuple(join_order), tuple(join_methods))
+            for query, join_order, join_methods in requests
+        ]
+        memo_keys = [
+            (query.signature(), join_order, join_methods)
+            for query, join_order, join_methods in normalized
+        ]
+        resolved: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult] = {}
+        miss_keys = []
+        miss_requests = []
+        for memo_key, request in zip(memo_keys, normalized):
+            if memo_key in resolved:
+                continue
+            hit = self._hint_memo.get(memo_key)
+            if hit is not None:
+                self._hint_memo.move_to_end(memo_key)
+                resolved[memo_key] = hit
+            else:
+                resolved[memo_key] = None  # placeholder, filled below
+                miss_keys.append(memo_key)
+                miss_requests.append(request)
+        if miss_requests:
+            results = self._scatter(
+                "hint_many",
+                miss_requests,
+                ["|".join((key[0],) + key[1] + key[2]) for key in miss_keys],
+            )
+            for memo_key, result in zip(miss_keys, results):
+                resolved[memo_key] = result
+                while len(self._hint_memo) >= self.hint_memo_capacity:
+                    self._hint_memo.popitem(last=False)
+                self._hint_memo[memo_key] = result
+        return [resolved[memo_key] for memo_key in memo_keys]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        plan: PlanNode,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> ExecutionResult:
+        if not use_cache:
+            # Uncached timing studies must not pollute worker caches.
+            return self.local.execute(query, plan, timeout_ms=timeout_ms, use_cache=False)
+        return self.execute_many([(query, plan, timeout_ms)])[0]
+
+    def execute_many(
+        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
+    ) -> List[ExecutionResult]:
+        keys = [
+            f"{query.signature()}#{plan_signature(plan)}"
+            for query, plan, _timeout in requests
+        ]
+        return self._scatter("execute_many", list(requests), keys)
+
+    def original_latency(self, query: Query) -> float:
+        planning = self.plan(query)
+        return self.execute(query, planning.plan).latency_ms
+
+    # ------------------------------------------------------------------
+    # cache control / stats
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        self.local.clear_caches()
+        self._plan_memo.clear()
+        self._hint_memo.clear()
+        self._broadcast("clear_caches")
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "backend": "sharded",
+            "workers": self.num_workers,
+            "executions": self.executions,
+            "plan_memo": len(self._plan_memo),
+            "hint_memo": len(self._hint_memo),
+        }
+
+
+def make_backend(
+    workload,
+    engine_workers: int = 1,
+) -> "EngineBackend":
+    """Pick a backend for a workload: local for 1 worker, sharded otherwise.
+
+    The sharded pool reuses the workload's in-process engine for metadata,
+    SQL binding and uncached timing calls (avoiding a redundant dataset
+    rebuild in the parent); hot-path planning and execution go to freshly
+    started workers, whose caches begin cold and warm per key shard.
+    """
+    if engine_workers <= 1:
+        return workload.database
+    if workload.spec is None:
+        raise ValueError(
+            "engine_workers > 1 requires a workload with a WorkloadSpec "
+            "(build it via build_*_workload / build_workload_by_name)"
+        )
+    return ShardedBackend(workload.spec, engine_workers, database=workload.database)

@@ -14,6 +14,7 @@ paper's training loop avoids re-executing known plans.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -94,9 +95,10 @@ class Database:
         self.hint_builder = HintedPlanBuilder(self.enumerator)
         self.executor = ExecutionEngine(self.storage, self.runtime_cost_model)
         self._plan_cache: Dict[str, PlanningResult] = {}
-        # Dropped wholesale at the cap: exploration visits new ICPs forever,
-        # and completed plan trees are too heavy to keep unboundedly.
-        self._hint_cache: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult] = {}
+        # LRU-evicted at the cap: exploration visits new ICPs forever, and
+        # completed plan trees are too heavy to keep unboundedly, but a hot
+        # training loop must not lose its entire working set at the cliff.
+        self._hint_cache: "OrderedDict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult]" = OrderedDict()
         self.hint_cache_capacity = 200_000
         self._latency_cache: Dict[Tuple[str, str], _CachedLatency] = {}
         self.executions = 0  # real-environment execution counter (cache misses)
@@ -144,15 +146,34 @@ class Database:
         key = (query.signature(), tuple(join_order), tuple(join_methods))
         cached = self._hint_cache.get(key)
         if cached is not None:
+            self._hint_cache.move_to_end(key)
             return cached
         start = time.perf_counter()
         plan = self.hint_builder.build(query, join_order, join_methods)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         result = PlanningResult(plan=plan, planning_ms=elapsed_ms)
-        if len(self._hint_cache) >= self.hint_cache_capacity:
-            self._hint_cache.clear()
+        while len(self._hint_cache) >= self.hint_cache_capacity:
+            self._hint_cache.popitem(last=False)
         self._hint_cache[key] = result
         return result
+
+    def plan_many(
+        self,
+        queries: Sequence[Query],
+        options: Optional[OptimizerOptions] = None,
+    ) -> List[PlanningResult]:
+        """Batch mirror of :meth:`plan` (sharded backends fan this out)."""
+        return [self.plan(query, options) for query in queries]
+
+    def plan_with_hints_many(
+        self,
+        requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]],
+    ) -> List[PlanningResult]:
+        """Batch mirror of :meth:`plan_with_hints` for episode cohorts."""
+        return [
+            self.plan_with_hints(query, join_order, join_methods)
+            for query, join_order, join_methods in requests
+        ]
 
     # ------------------------------------------------------------------
     # execution
@@ -201,6 +222,16 @@ class Database:
             aggregate_values=cached.aggregate_values,
         )
 
+    def execute_many(
+        self,
+        requests: Sequence[Tuple[Query, PlanNode, Optional[float]]],
+    ) -> List[ExecutionResult]:
+        """Batch mirror of :meth:`execute`: (query, plan, timeout_ms) triples."""
+        return [
+            self.execute(query, plan, timeout_ms=timeout_ms)
+            for query, plan, timeout_ms in requests
+        ]
+
     def original_latency(self, query: Query) -> float:
         """Latency of the expert's own plan (cached)."""
         planning = self.plan(query)
@@ -221,3 +252,14 @@ class Database:
         """Drop cached plans only (latencies stay; used for timing studies)."""
         self._plan_cache.clear()
         self._hint_cache.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Engine counters: executions are real-environment cache misses."""
+        return {
+            "backend": "local",
+            "workers": 1,
+            "executions": self.executions,
+            "plan_cache": len(self._plan_cache),
+            "hint_cache": len(self._hint_cache),
+            "latency_cache": len(self._latency_cache),
+        }

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from repro.core.inference import OptimizedPlan
-from repro.engine.database import Database
+from repro.engine.backend import EngineBackend
 from repro.experiments.metrics import (
     geometric_mean_relevant_latency,
     workload_relevant_latency,
@@ -65,26 +65,28 @@ class MethodResult:
 
 
 def evaluate_optimizer(
-    database: Database,
+    database: EngineBackend,
     queries: Sequence[WorkloadQuery],
     optimizer: QueryOptimizer,
 ) -> EvaluationResult:
-    """Run the optimizer over the queries, execute its plans, score them."""
-    query_ids: List[str] = []
-    latencies: List[float] = []
-    optimization: List[float] = []
-    expert_latencies: List[float] = []
-    expert_optimization: List[float] = []
-    for wq in queries:
-        expert_planning = database.plan(wq.query)
-        expert_latency = database.execute(wq.query, expert_planning.plan).latency_ms
-        chosen = optimizer.optimize(wq.query)
-        latency = database.execute(wq.query, chosen.plan).latency_ms
-        query_ids.append(wq.query_id)
-        latencies.append(latency)
-        optimization.append(chosen.optimization_ms)
-        expert_latencies.append(expert_latency)
-        expert_optimization.append(expert_planning.planning_ms)
+    """Run the optimizer over the queries, execute its plans, score them.
+
+    Expert plans and both execution sweeps go through the engine's batch
+    APIs, so a sharded backend evaluates a workload across workers.
+    """
+    query_ids: List[str] = [wq.query_id for wq in queries]
+    expert_plannings = database.plan_many([wq.query for wq in queries])
+    expert_results = database.execute_many(
+        [(wq.query, planning.plan, None) for wq, planning in zip(queries, expert_plannings)]
+    )
+    chosen = [optimizer.optimize(wq.query) for wq in queries]
+    chosen_results = database.execute_many(
+        [(wq.query, result.plan, None) for wq, result in zip(queries, chosen)]
+    )
+    latencies: List[float] = [result.latency_ms for result in chosen_results]
+    optimization: List[float] = [result.optimization_ms for result in chosen]
+    expert_latencies: List[float] = [result.latency_ms for result in expert_results]
+    expert_optimization: List[float] = [planning.planning_ms for planning in expert_plannings]
     return EvaluationResult(
         query_ids=query_ids,
         latencies_ms=latencies,
@@ -97,7 +99,7 @@ def evaluate_optimizer(
 
 
 def optimization_times(
-    database: Database,
+    database: EngineBackend,
     queries: Sequence[WorkloadQuery],
     optimizer: QueryOptimizer,
 ) -> np.ndarray:
@@ -118,7 +120,7 @@ class KnownBestResult:
 
 
 def known_best_analysis(
-    database: Database,
+    database: EngineBackend,
     queries: Sequence[WorkloadQuery],
     method: str,
     best_latencies: Dict[str, float],

@@ -8,7 +8,13 @@ skew/correlation plus a train/test query split matching the paper's setup:
 * Stack: StackExchange-like schema, 12 templates x 10 queries (8/2 each)
 """
 
-from repro.workloads.base import Workload, WorkloadQuery, build_workload_by_name
+from repro.workloads.base import (
+    Workload,
+    WorkloadQuery,
+    WorkloadSpec,
+    build_dataset_by_name,
+    build_workload_by_name,
+)
 from repro.workloads.job import build_job_workload
 from repro.workloads.tpcds import build_tpcds_workload
 from repro.workloads.stack import build_stack_workload
@@ -16,6 +22,8 @@ from repro.workloads.stack import build_stack_workload
 __all__ = [
     "Workload",
     "WorkloadQuery",
+    "WorkloadSpec",
+    "build_dataset_by_name",
     "build_workload_by_name",
     "build_job_workload",
     "build_tpcds_workload",

@@ -26,6 +26,7 @@ from repro.workloads.base import (
     FilterSlot,
     QueryTemplate,
     Workload,
+    WorkloadSpec,
     instantiate_templates,
     random_connected_subgraph,
     split_train_test,
@@ -454,4 +455,11 @@ def build_job_workload(scale: float = 1.0, seed: int = 1) -> Workload:
     counts = [4] * 14 + [3] * 19
     queries = instantiate_templates(database, templates, counts, seed=seed + 200)
     train, test = split_train_test(queries, num_test=19, seed=seed + 300)
-    return Workload(name="job", dataset=dataset, database=database, train=train, test=test)
+    return Workload(
+        name="job",
+        dataset=dataset,
+        database=database,
+        train=train,
+        test=test,
+        spec=WorkloadSpec(name="job", scale=scale, seed=seed),
+    )

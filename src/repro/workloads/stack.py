@@ -19,6 +19,7 @@ from repro.workloads.base import (
     FilterSlot,
     QueryTemplate,
     Workload,
+    WorkloadSpec,
     instantiate_templates,
 )
 
@@ -277,4 +278,11 @@ def build_stack_workload(scale: float = 1.0, seed: int = 3) -> Workload:
         group = [q for q in queries if q.template_id == template.template_id]
         train.extend(group[:8])
         test.extend(group[8:10])
-    return Workload(name="stack", dataset=dataset, database=database, train=train, test=test)
+    return Workload(
+        name="stack",
+        dataset=dataset,
+        database=database,
+        train=train,
+        test=test,
+        spec=WorkloadSpec(name="stack", scale=scale, seed=seed),
+    )

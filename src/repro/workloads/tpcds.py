@@ -20,6 +20,7 @@ from repro.workloads.base import (
     FilterSlot,
     QueryTemplate,
     Workload,
+    WorkloadSpec,
     instantiate_templates,
     split_train_test,
 )
@@ -338,4 +339,11 @@ def build_tpcds_workload(scale: float = 1.0, seed: int = 2) -> Workload:
         group = [q for q in queries if q.template_id == template.template_id]
         train.extend(group[:5])
         test.extend(group[5:6])
-    return Workload(name="tpcds", dataset=dataset, database=database, train=train, test=test)
+    return Workload(
+        name="tpcds",
+        dataset=dataset,
+        database=database,
+        train=train,
+        test=test,
+        spec=WorkloadSpec(name="tpcds", scale=scale, seed=seed),
+    )

@@ -1,0 +1,202 @@
+"""EngineBackend protocol: conformance, batch mirrors, cache contracts.
+
+Covers the engine-level contracts the training loop relies on:
+
+* the dynamic-timeout path — a cached latency above a requested timeout is
+  reported as a timeout *without* re-running, and ``Database.executions``
+  counts only cache misses;
+* LRU eviction of the hint cache (a hot loop keeps its working set; the
+  cache no longer drops wholesale at the capacity cliff);
+* batch APIs (``plan_many`` / ``plan_with_hints_many`` / ``execute_many``)
+  return exactly what their singleton counterparts return;
+* ``WorkloadSpec`` rebuilds a bitwise-identical engine (the property the
+  sharded backend's workers depend on).
+"""
+
+import pytest
+
+from repro.core.icp import IncompletePlan
+from repro.engine.backend import EngineBackend, LocalBackend, ShardedBackend, make_backend
+from repro.engine.database import Database
+from repro.optimizer.plans import plan_signature
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.job import build_job_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    """A small private engine (tests mutate caches and counters)."""
+    return Database(build_job_dataset(scale=0.02, seed=5))
+
+
+@pytest.fixture(scope="module")
+def bound_query(tiny_db):
+    return tiny_db.sql(
+        "SELECT COUNT(*) FROM title AS t, movie_info AS mi, cast_info AS ci "
+        "WHERE mi.movie_id = t.id AND ci.movie_id = t.id;",
+        name="backend_q",
+    )
+
+
+class TestProtocolConformance:
+    def test_database_satisfies_protocol(self, tiny_db):
+        assert isinstance(tiny_db, EngineBackend)
+
+    def test_local_backend_is_a_database(self):
+        backend = LocalBackend.from_spec(WorkloadSpec("job", scale=0.02, seed=5))
+        assert isinstance(backend, Database)
+        assert isinstance(backend, EngineBackend)
+
+    def test_sharded_backend_satisfies_protocol(self, tiny_db):
+        spec = WorkloadSpec("job", scale=0.02, seed=5)
+        with ShardedBackend(spec, 2, database=tiny_db) as backend:
+            assert isinstance(backend, EngineBackend)
+
+    def test_make_backend_requires_spec_for_sharding(self, tiny_db):
+        workload = Workload(
+            name="x", dataset=tiny_db.dataset, database=tiny_db, train=[], test=[], spec=None
+        )
+        assert make_backend(workload, 1) is tiny_db
+        with pytest.raises(ValueError, match="WorkloadSpec"):
+            make_backend(workload, 2)
+
+
+class TestDynamicTimeout:
+    def test_cached_latency_above_timeout_reports_timeout_without_rerun(
+        self, tiny_db, bound_query
+    ):
+        plan = tiny_db.plan(bound_query).plan
+        full = tiny_db.execute(bound_query, plan)
+        assert full.latency_ms > 0 and not full.timed_out
+        executions_before = tiny_db.executions
+        capped = tiny_db.execute(bound_query, plan, timeout_ms=full.latency_ms / 2)
+        assert capped.timed_out
+        assert capped.latency_ms == full.latency_ms / 2
+        assert capped.output_rows == 0
+        assert tiny_db.executions == executions_before, "timeout served from cache"
+
+    def test_executions_counts_only_cache_misses(self, tiny_db, bound_query):
+        plan = tiny_db.plan(bound_query).plan
+        tiny_db.execute(bound_query, plan)  # ensure cached
+        before = tiny_db.executions
+        for _ in range(3):
+            tiny_db.execute(bound_query, plan)
+        assert tiny_db.executions == before
+        # A plan the cache has never seen is a miss and counts once.
+        icp = IncompletePlan.extract(plan)
+        alt_method = "merge" if icp.methods[0] != "merge" else "nestloop"
+        alt = tiny_db.plan_with_hints(
+            bound_query, icp.order, (alt_method,) + tuple(icp.methods[1:])
+        ).plan
+        assert plan_signature(alt) != plan_signature(plan)
+        tiny_db.execute(bound_query, alt)
+        assert tiny_db.executions == before + 1
+        tiny_db.execute(bound_query, alt)
+        assert tiny_db.executions == before + 1
+
+    def test_uncached_execution_always_runs(self, tiny_db, bound_query):
+        plan = tiny_db.plan(bound_query).plan
+        tiny_db.execute(bound_query, plan)
+        before = tiny_db.executions
+        tiny_db.execute(bound_query, plan, use_cache=False)
+        assert tiny_db.executions == before + 1
+
+
+class TestHintCacheLRU:
+    def _variants(self, db, query, count):
+        icp = IncompletePlan.extract(db.plan(query).plan)
+        variants = []
+        for position in range(1, len(icp.methods) + 1):
+            for method in ("hash", "merge", "nestloop"):
+                if icp.methods[position - 1] == method:
+                    continue
+                edited = icp.override(position, method)
+                variants.append((edited.order, edited.methods))
+                if len(variants) == count:
+                    return variants
+        raise AssertionError("query too small for the requested variant count")
+
+    def test_lru_keeps_recently_used_entries(self, tiny_db, bound_query):
+        tiny_db._hint_cache.clear()
+        old_capacity = tiny_db.hint_cache_capacity
+        tiny_db.hint_cache_capacity = 3
+        try:
+            v = self._variants(tiny_db, bound_query, 4)
+            for order, methods in v[:3]:
+                tiny_db.plan_with_hints(bound_query, order, methods)
+            assert len(tiny_db._hint_cache) == 3
+            first_key = (bound_query.signature(), tuple(v[0][0]), tuple(v[0][1]))
+            second_key = (bound_query.signature(), tuple(v[1][0]), tuple(v[1][1]))
+            # Touch the oldest entry, then overflow: the LRU victim must be
+            # the *second* entry, not the freshly-touched first.
+            tiny_db.plan_with_hints(bound_query, v[0][0], v[0][1])
+            tiny_db.plan_with_hints(bound_query, v[3][0], v[3][1])
+            assert len(tiny_db._hint_cache) == 3
+            assert first_key in tiny_db._hint_cache
+            assert second_key not in tiny_db._hint_cache
+        finally:
+            tiny_db.hint_cache_capacity = old_capacity
+            tiny_db._hint_cache.clear()
+
+    def test_capacity_never_exceeded(self, tiny_db, bound_query):
+        tiny_db._hint_cache.clear()
+        old_capacity = tiny_db.hint_cache_capacity
+        tiny_db.hint_cache_capacity = 2
+        try:
+            for order, methods in self._variants(tiny_db, bound_query, 4):
+                tiny_db.plan_with_hints(bound_query, order, methods)
+                assert len(tiny_db._hint_cache) <= 2
+        finally:
+            tiny_db.hint_cache_capacity = old_capacity
+            tiny_db._hint_cache.clear()
+
+
+class TestBatchMirrors:
+    def test_plan_many_matches_plan(self, tiny_db, bound_query):
+        singles = [tiny_db.plan(bound_query)]
+        batch = tiny_db.plan_many([bound_query])
+        assert plan_signature(batch[0].plan) == plan_signature(singles[0].plan)
+
+    def test_plan_with_hints_many_matches_singletons(self, tiny_db, bound_query):
+        icp = IncompletePlan.extract(tiny_db.plan(bound_query).plan)
+        edited = icp.override(1, "merge" if icp.methods[0] != "merge" else "hash")
+        requests = [
+            (bound_query, icp.order, icp.methods),
+            (bound_query, edited.order, edited.methods),
+        ]
+        batch = tiny_db.plan_with_hints_many(requests)
+        singles = [tiny_db.plan_with_hints(*request) for request in requests]
+        assert [plan_signature(r.plan) for r in batch] == [
+            plan_signature(r.plan) for r in singles
+        ]
+
+    def test_execute_many_matches_execute(self, tiny_db, bound_query):
+        plan = tiny_db.plan(bound_query).plan
+        single = tiny_db.execute(bound_query, plan)
+        half = tiny_db.execute(bound_query, plan, timeout_ms=single.latency_ms / 2)
+        batch = tiny_db.execute_many(
+            [(bound_query, plan, None), (bound_query, plan, single.latency_ms / 2)]
+        )
+        assert batch[0] == single
+        assert batch[1] == half
+
+
+class TestWorkloadSpec:
+    def test_spec_rebuild_is_deterministic(self):
+        spec = WorkloadSpec("job", scale=0.02, seed=5)
+        first = spec.build_database()
+        second = spec.build_database()
+        sql = (
+            "SELECT COUNT(*) FROM title AS t, movie_info AS mi "
+            "WHERE mi.movie_id = t.id AND t.kind_id = 2;"
+        )
+        q1, q2 = first.sql(sql, name="spec_q"), second.sql(sql, name="spec_q")
+        p1, p2 = first.plan(q1).plan, second.plan(q2).plan
+        assert plan_signature(p1) == plan_signature(p2)
+        assert first.execute(q1, p1).latency_ms == second.execute(q2, p2).latency_ms
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = WorkloadSpec("stack", scale=0.5, seed=9)
+        assert pickle.loads(pickle.dumps(spec)) == spec

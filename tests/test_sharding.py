@@ -1,0 +1,170 @@
+"""Sharded engine backend: RPC parity, worker-count trajectory invariance.
+
+The contract (see :mod:`repro.engine.backend`): the engine is a pure
+function of the dataset, and workers rebuild the dataset from the same
+:class:`WorkloadSpec` — so plans, latencies, trajectories and training
+metrics are identical for every ``engine_workers`` at a fixed seed.
+"""
+
+import pytest
+
+from repro.core.aam import AAMConfig
+from repro.core.icp import IncompletePlan
+from repro.core.trainer import FossConfig, FossTrainer
+from repro.engine.backend import ShardedBackend
+from repro.optimizer.plans import plan_signature
+
+
+def sharding_config(**overrides) -> FossConfig:
+    defaults = dict(
+        max_steps=3,
+        episodes_per_update=10,
+        bootstrap_episodes=6,
+        aam_retrain_threshold=25,
+        random_sample_episodes=2,
+        validation_budget=8,
+        episode_batch_size=4,
+        seed=17,
+        aam=AAMConfig(d_model=32, d_embed=8, d_state=32, num_heads=2, num_layers=1, ff_hidden=32, epochs=1),
+    )
+    defaults.update(overrides)
+    return FossConfig(**defaults)
+
+
+def episode_fingerprint(episode):
+    return (
+        plan_signature(episode.best_plan),
+        episode.best_step,
+        [c.icp.signature() for c in episode.candidates],
+        [t.action for t in episode.transitions],
+        [t.reward for t in episode.transitions],
+        episode.total_reward,
+    )
+
+
+@pytest.fixture(scope="module")
+def parity_queries(job_workload):
+    queries = []
+    seen = set()
+    for wq in job_workload.train:
+        if wq.query.num_tables >= 3 and wq.query.signature() not in seen:
+            seen.add(wq.query.signature())
+            queries.append(wq.query)
+        if len(queries) == 6:
+            break
+    assert len(queries) == 6
+    return queries
+
+
+class TestBackendParity:
+    def test_rpc_results_match_local(self, job_workload):
+        """plan / complete-hint / execute return bitwise-identical results."""
+        local = job_workload.database
+        query = next(w.query for w in job_workload.train if w.query.num_tables >= 3)
+        with ShardedBackend(job_workload.spec, 2, database=local) as backend:
+            local_planning = local.plan(query)
+            sharded_planning = backend.plan(query)
+            assert plan_signature(sharded_planning.plan) == plan_signature(local_planning.plan)
+
+            icp = IncompletePlan.extract(local_planning.plan)
+            edited = icp.override(1, "merge" if icp.methods[0] != "merge" else "nestloop")
+            requests = [
+                (query, icp.order, icp.methods),
+                (query, edited.order, edited.methods),
+                (query, icp.order, icp.methods),  # repeat: parent memo hit
+            ]
+            sharded = backend.plan_with_hints_many(requests)
+            singles = [local.plan_with_hints(*request) for request in requests]
+            assert [plan_signature(r.plan) for r in sharded] == [
+                plan_signature(r.plan) for r in singles
+            ]
+
+            plans = [planning.plan for planning in singles[:2]]
+            local_results = local.execute_many([(query, plan, None) for plan in plans])
+            sharded_results = backend.execute_many([(query, plan, None) for plan in plans])
+            assert [r.latency_ms for r in sharded_results] == [
+                r.latency_ms for r in local_results
+            ]
+
+    def test_executions_aggregate_worker_misses(self, job_workload):
+        query = next(w.query for w in job_workload.train if w.query.num_tables >= 3)
+        with ShardedBackend(job_workload.spec, 2, database=job_workload.database) as backend:
+            plan = backend.plan(query).plan
+            before = backend.executions
+            backend.execute(query, plan)
+            after_miss = backend.executions
+            assert after_miss == before + 1, "worker cache miss must count"
+            backend.execute(query, plan)
+            assert backend.executions == after_miss, "worker cache hit must not count"
+            assert backend.stats()["workers"] == 2
+
+    def test_worker_error_does_not_desync_pool(self, job_workload):
+        """A failed RPC drains every pending response; later calls stay aligned."""
+        queries = [w.query for w in job_workload.train[:4]]
+        with ShardedBackend(job_workload.spec, 2, database=job_workload.database) as backend:
+            with pytest.raises(RuntimeError, match="unknown engine RPC"):
+                backend._scatter("bogus", list(queries), [q.signature() for q in queries])
+            sharded = backend.plan_many(queries)
+            local = job_workload.database.plan_many(queries)
+            assert [plan_signature(p.plan) for p in sharded] == [
+                plan_signature(p.plan) for p in local
+            ]
+
+    def test_close_is_idempotent_and_blocks_further_calls(self, job_workload):
+        backend = ShardedBackend(job_workload.spec, 2, database=job_workload.database)
+        query = job_workload.train[0].query
+        backend.plan(query)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.plan(query)
+
+
+class TestWorkerCountInvariance:
+    def _episodes(self, job_workload, parity_queries, workers, environment_name):
+        trainer = FossTrainer(job_workload, sharding_config(engine_workers=workers))
+        try:
+            environment = trainer.sim_env if environment_name == "sim" else trainer.real_env
+            return [
+                episode_fingerprint(e)
+                for e in trainer.runners[0].run(environment, parity_queries)
+            ]
+        finally:
+            trainer.close()
+
+    def test_simulated_trajectories_identical(self, job_workload, parity_queries):
+        baseline = self._episodes(job_workload, parity_queries, 1, "sim")
+        for workers in (2, 4):
+            assert self._episodes(job_workload, parity_queries, workers, "sim") == baseline, (
+                f"engine_workers={workers} diverged from local backend"
+            )
+
+    def test_real_trajectories_identical(self, job_workload, parity_queries):
+        baseline = self._episodes(job_workload, parity_queries, 1, "real")
+        assert self._episodes(job_workload, parity_queries, 2, "real") == baseline
+
+    def test_training_metrics_identical(self, job_workload):
+        def run(workers):
+            trainer = FossTrainer(job_workload, sharding_config(engine_workers=workers))
+            try:
+                trainer.bootstrap()
+                stats = trainer.run_iteration(0)
+                buffer_state = sorted(
+                    (query_sig, plan_signature(record.plan), record.latency_ms,
+                     record.step, record.timed_out)
+                    for query_sig, per_query in trainer.buffer._records.items()
+                    for record in per_query.values()
+                )
+                return (
+                    stats.episodes,
+                    stats.executions,
+                    stats.mean_reward,
+                    trainer.aam_accuracy,
+                    buffer_state,
+                )
+            finally:
+                trainer.close()
+
+        baseline = run(1)
+        for workers in (2, 4):
+            assert run(workers) == baseline, f"engine_workers={workers} training diverged"
