@@ -19,12 +19,7 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
-from repro.baselines.balsa import BalsaOptimizer
-from repro.baselines.bao import BaoOptimizer
-from repro.baselines.hybridqo import HybridQOOptimizer
-from repro.baselines.loger import LogerOptimizer
-from repro.baselines.postgres import PostgresOptimizer
-from repro.core.aam import AAMConfig
+from repro.api import FossSession, create_optimizer
 from repro.core.trainer import FossConfig, FossTrainer
 from repro.experiments.harness import MethodResult, TrainingCurve, evaluate_optimizer
 from repro.workloads.base import Workload, build_workload_by_name
@@ -68,17 +63,28 @@ def job_workload_bench(workloads) -> Workload:
 
 
 class MethodRegistry:
-    """Trains each method once per workload and caches everything."""
+    """Trains each method once per workload and caches everything.
+
+    Optimizers are constructed by name through the :mod:`repro.api`
+    registry over one :class:`FossSession` per workload.
+    """
 
     def __init__(self, workloads: Dict[str, Workload]) -> None:
         self.workloads = workloads
+        self._sessions: Dict[str, FossSession] = {}
         self._optimizers: Dict[tuple, object] = {}
         self._results: Dict[tuple, MethodResult] = {}
         self._training_times: Dict[tuple, float] = {}
         self._curves: Dict[tuple, TrainingCurve] = {}
-        self._foss_trainers: Dict[str, FossTrainer] = {}
 
     # ------------------------------------------------------------------
+    def session(self, workload_name: str) -> FossSession:
+        if workload_name not in self._sessions:
+            self._sessions[workload_name] = FossSession.open(
+                workload=self.workloads[workload_name], config=small_foss_config()
+            )
+        return self._sessions[workload_name]
+
     def optimizer(self, method: str, workload_name: str):
         key = (method, workload_name)
         if key not in self._optimizers:
@@ -87,26 +93,18 @@ class MethodRegistry:
 
     def foss_trainer(self, workload_name: str) -> FossTrainer:
         self.optimizer("FOSS", workload_name)
-        return self._foss_trainers[workload_name]
+        return self.session(workload_name).trainer()
 
     def _train(self, method: str, workload_name: str):
         workload = self.workloads[workload_name]
-        db = workload.database
+        session = self.session(workload_name)
         start = time.perf_counter()
         curve = TrainingCurve(method, workload_name)
-        if method == "PostgreSQL":
-            optimizer = PostgresOptimizer(db)
-        elif method == "Bao":
-            optimizer = BaoOptimizer(db, seed=11)
+        optimizer = create_optimizer(method, session)  # raises on unknown names
+        name = method.lower()  # training dispatch is case-insensitive, like the registry
+        if name in ("bao", "hybridqo", "loger"):
             optimizer.train(workload.train, iterations=BASELINE_ITERS)
-        elif method == "HybridQO":
-            optimizer = HybridQOOptimizer(db, seed=13)
-            optimizer.train(workload.train, iterations=BASELINE_ITERS)
-        elif method == "Loger":
-            optimizer = LogerOptimizer(db, seed=19)
-            optimizer.train(workload.train, iterations=BASELINE_ITERS)
-        elif method == "Balsa":
-            optimizer = BalsaOptimizer(db, seed=17)
+        elif name == "balsa":
             for _ in range(BASELINE_ITERS):
                 optimizer.train(workload.train, iterations=1)
                 curve.record(
@@ -117,19 +115,15 @@ class MethodRegistry:
                     self._training_times[(method, workload_name)] = time.perf_counter() - start
                     self._curves[(method, workload_name)] = curve
                     return _TimedOut(optimizer)
-        elif method == "FOSS":
-            trainer = FossTrainer(workload, small_foss_config())
+        elif name == "foss":
+            trainer = session.trainer()
             trainer.bootstrap()
-            optimizer = trainer.make_optimizer()
             for i in range(BENCH_ITERS):
                 trainer.run_iteration(i)
                 curve.record(
                     time.perf_counter() - start,
                     *self._quick_scores(workload, optimizer),
                 )
-            self._foss_trainers[workload_name] = trainer
-        else:
-            raise ValueError(f"unknown method {method}")
         self._training_times[(method, workload_name)] = time.perf_counter() - start
         self._curves[(method, workload_name)] = curve
         return optimizer

@@ -1,8 +1,8 @@
 """Compare all six optimizers (the paper's Table I, one workload).
 
-Trains Bao, HybridQO, Balsa, Loger and FOSS briefly on the JOB-like
-workload and reports WRL / GMRL / total runtime for each, with PostgreSQL
-as the 1.0 reference.
+Every method is constructed **by name** through the ``repro.api`` registry
+and trained/evaluated by the shared harness drivers; PostgreSQL is the 1.0
+reference.
 
 Run:  python examples/compare_optimizers.py [--workload job|tpcds|stack]
 """
@@ -10,17 +10,20 @@ Run:  python examples/compare_optimizers.py [--workload job|tpcds|stack]
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.baselines.balsa import BalsaOptimizer
-from repro.baselines.bao import BaoOptimizer
-from repro.baselines.hybridqo import HybridQOOptimizer
-from repro.baselines.loger import LogerOptimizer
-from repro.baselines.postgres import PostgresOptimizer
-from repro.core.trainer import FossConfig, FossTrainer
-from repro.experiments.harness import MethodResult, evaluate_optimizer
+from repro.api import FossConfig, FossSession
+from repro.experiments.harness import evaluate_method
 from repro.experiments.reporting import render_table1
-from repro.workloads.base import build_workload_by_name
+
+# (registry name, report label, training iterations multiplier)
+METHODS = [
+    ("postgresql", "PostgreSQL", 0),
+    ("bao", "Bao", 1),
+    ("hybridqo", "HybridQO", 1),
+    ("balsa", "Balsa", 1),
+    ("loger", "Loger", 1),
+    ("foss", "FOSS", 2),
+]
 
 
 def main() -> None:
@@ -28,59 +31,33 @@ def main() -> None:
     parser.add_argument("--workload", default="job", choices=("job", "tpcds", "stack"))
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument("--episodes", type=int, default=120)
     args = parser.parse_args()
 
     print(f"Building the {args.workload} workload (scale {args.scale})...")
-    workload = build_workload_by_name(args.workload, scale=args.scale, seed=1)
-    db = workload.database
-
-    results = []
-
-    def record(name, optimizer, training_time):
-        train_eval = evaluate_optimizer(db, workload.train, optimizer)
-        test_eval = evaluate_optimizer(db, workload.test, optimizer)
-        results.append(MethodResult(name, args.workload, train_eval, test_eval, training_time))
-        print(f"  {name:<11} train WRL {train_eval.wrl:5.2f} GMRL {train_eval.gmrl:5.2f} | "
-              f"test WRL {test_eval.wrl:5.2f} GMRL {test_eval.gmrl:5.2f} "
-              f"(trained {training_time:.0f}s)")
-
-    print("\nEvaluating PostgreSQL (the expert reference)...")
-    record("PostgreSQL", PostgresOptimizer(db), 0.0)
-
-    print("Training Bao (hint sets + value model)...")
-    bao = BaoOptimizer(db, seed=11)
-    bao.train(workload.train, iterations=args.iterations)
-    record("Bao", bao, bao.training_time_s)
-
-    print("Training HybridQO (MCTS prefix hints)...")
-    hybrid = HybridQOOptimizer(db, seed=13)
-    hybrid.train(workload.train, iterations=args.iterations)
-    record("HybridQO", hybrid, hybrid.training_time_s)
-
-    print("Training Balsa (bottom-up constructor)...")
-    balsa = BalsaOptimizer(db, seed=17)
-    balsa.train(workload.train, iterations=args.iterations)
-    record("Balsa", balsa, balsa.training_time_s)
-
-    print("Training Loger (join order + method restrictions)...")
-    loger = LogerOptimizer(db, seed=19)
-    loger.train(workload.train, iterations=args.iterations)
-    record("Loger", loger, loger.training_time_s)
-
-    print("Training FOSS (the plan doctor)...")
-    start = time.perf_counter()
-    trainer = FossTrainer(
-        workload,
-        FossConfig(max_steps=3, episodes_per_update=120, bootstrap_episodes=40,
-                   aam_retrain_threshold=80, seed=7),
+    config = FossConfig(
+        max_steps=3,
+        episodes_per_update=args.episodes,
+        bootstrap_episodes=max(10, args.episodes // 3),
+        aam_retrain_threshold=80,
+        seed=7,
     )
-    trainer.train(iterations=2 * args.iterations, verbose=False)
-    record("FOSS", trainer.make_optimizer(), time.perf_counter() - start)
+    with FossSession.open(args.workload, scale=args.scale, seed=1, config=config) as session:
+        results = []
+        for name, label, iteration_factor in METHODS:
+            iterations = args.iterations * iteration_factor
+            print(f"Training + evaluating {label}"
+                  f"{f' ({iterations} iterations)' if iterations else ''}...")
+            result = evaluate_method(name, session, iterations=iterations, label=label)
+            results.append(result)
+            print(f"  {label:<11} train WRL {result.train.wrl:5.2f} GMRL {result.train.gmrl:5.2f} | "
+                  f"test WRL {result.test.wrl:5.2f} GMRL {result.test.gmrl:5.2f} "
+                  f"(trained {result.training_time_s:.0f}s)")
 
-    print("\n" + render_table1(results, [args.workload]))
-    print("\n(Metrics below 1.0 beat the expert. At these reduced training "
-          "budgets the margins are smaller than the paper's, but the "
-          "ordering should match: FOSS lowest, Bao limited, Balsa unstable.)")
+        print("\n" + render_table1(results, [args.workload]))
+        print("\n(Metrics below 1.0 beat the expert. At these reduced training "
+              "budgets the margins are smaller than the paper's, but the "
+              "ordering should match: FOSS lowest, Bao limited, Balsa unstable.)")
 
 
 if __name__ == "__main__":

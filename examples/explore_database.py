@@ -10,21 +10,26 @@ plan doctor its job:
 4. steer the optimizer with an incomplete-plan hint (the pg_hint_plan
    equivalent) and watch the latency change.
 
-Run:  python examples/explore_database.py
+Run:  python examples/explore_database.py [--scale 0.05]
 """
 
 from __future__ import annotations
 
+import argparse
+
+from repro.api import FossSession
 from repro.catalog.datagen import correlation_mapping
 from repro.core.icp import IncompletePlan
-from repro.workloads.job import build_job_dataset
-from repro.engine.database import Database
 
 
 def main() -> None:
-    print("Loading the IMDb-like dataset...")
-    dataset = build_job_dataset(scale=0.05, seed=1)
-    db = Database(dataset)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    args = parser.parse_args()
+
+    print("Opening a FOSS session over the IMDb-like dataset...")
+    session = FossSession.open("job", scale=args.scale, seed=1)
+    db = session.backend
     rows = db.storage.total_rows()
     print(f"  {len(db.storage.table_names)} tables, {rows:,} rows, "
           f"{db.storage.memory_bytes() / 1e6:.1f} MB\n")

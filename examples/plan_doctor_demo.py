@@ -10,16 +10,18 @@ far from the best 2-step-repairable plan, enumerates the repairs explicitly
 (what the trained planner learns to do directly), and prints the
 step-by-step doctoring.
 
-Run:  python examples/plan_doctor_demo.py
+Run:  python examples/plan_doctor_demo.py [--scale 0.05]
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
+from repro.api import FossSession
 from repro.core.actions import ActionSpace
 from repro.core.icp import IncompletePlan
-from repro.workloads.job import build_job_workload
 
 
 def best_single_step(db, query, icp, space, timeout_ms):
@@ -35,9 +37,14 @@ def best_single_step(db, query, icp, space, timeout_ms):
 
 
 def main() -> None:
-    print("Building the JOB-like workload...")
-    workload = build_job_workload(scale=0.05, seed=1)
-    db = workload.database
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    args = parser.parse_args()
+
+    print("Opening a FOSS session over the JOB-like workload...")
+    session = FossSession.open("job", scale=args.scale, seed=1)
+    workload = session.workload
+    db = session.backend
     space = ActionSpace(max_tables=workload.max_query_tables)
 
     # Find the query with the largest 2-step repair.

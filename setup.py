@@ -1,3 +1,17 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="foss-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'FOSS: A Self-Learned Doctor for Query Optimizer' "
+        "(ICDE 2024) with a SQL-text-in / plan-out serving API (repro.api)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+)

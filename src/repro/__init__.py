@@ -1,31 +1,50 @@
 """Reproduction of *FOSS: A Self-Learned Doctor for Query Optimizer* (ICDE 2024).
 
-Public API highlights:
+The stable public surface is :mod:`repro.api` — a SQL-text-in / plan-out
+facade over the whole system:
 
-* :func:`repro.workloads.build_workload_by_name` — build the JOB / TPC-DS /
-  Stack-like benchmark (dataset + query split);
-* :class:`repro.engine.Database` — the expert engine (Selinger-style
-  optimizer + virtual-time executor), the PostgreSQL stand-in;
-* :class:`repro.engine.EngineBackend` — the protocol every consumer
-  depends on, with :class:`repro.engine.LocalBackend` (in-process) and
-  :class:`repro.engine.ShardedBackend` (multiprocessing worker pool,
-  selected by ``FossConfig.engine_workers``) implementations;
-* :class:`repro.core.FossTrainer` / :class:`repro.core.FossConfig` — train
-  the plan doctor end to end;
-* :class:`repro.core.FossOptimizer` — the deployable optimizer
-  (``optimize(query) -> plan``);
-* :mod:`repro.baselines` — Bao, HybridQO, Balsa, Loger comparators;
-* :mod:`repro.experiments` — GMRL/WRL metrics, evaluation harness, and the
-  paper-shaped report renderers.
+* :class:`repro.api.FossSession` — lifecycle facade: ``open`` a workload,
+  ``train`` the plan doctor, ``save``/``load`` it as one artifact, get the
+  deployable optimizer;
+* :class:`repro.api.OptimizerService` — request/response serving:
+  ``submit(sql) -> PlanTicket`` / ``result(ticket)`` micro-batched through
+  the engine's cohort machinery, plus synchronous ``optimize_sql`` /
+  ``execute_sql``, with latency/batching/cache telemetry in ``stats()``;
+* :func:`repro.api.create_optimizer` — build any method by name
+  (``"foss"``, ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``,
+  ``"hybridqo"``) from a session, entry-point-style registration for new
+  ones;
+* :class:`repro.api.OptimizeError` — the single typed failure for SQL the
+  doctor cannot plan.
+
+Quickstart::
+
+    from repro.api import FossSession
+
+    with FossSession.open("job", scale=0.05, seed=1) as session:
+        session.train(iterations=3)
+        plan = session.service().optimize_sql("SELECT COUNT(*) FROM ...")
+
+Lower layers remain importable for composition: :mod:`repro.engine` (the
+expert engine and the :class:`~repro.engine.EngineBackend` protocol with
+local and sharded implementations), :mod:`repro.workloads`,
+:mod:`repro.core` (the paper's contribution), :mod:`repro.baselines`, and
+:mod:`repro.experiments`.  The old top-level ``repro.FossTrainer`` /
+``repro.FossOptimizer`` shortcuts still resolve but emit a
+``DeprecationWarning`` pointing at :mod:`repro.api`.
 """
 
-from repro.core import FossConfig, FossOptimizer, FossTrainer
+import importlib
+import warnings
+
+from repro.core import FossConfig
 from repro.engine import Database, Dataset, EngineBackend, LocalBackend, ShardedBackend
 from repro.workloads import build_workload_by_name
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "FossTrainer",
     "FossConfig",
     "FossOptimizer",
@@ -37,3 +56,25 @@ __all__ = [
     "build_workload_by_name",
     "__version__",
 ]
+
+# Old constructor paths the repro.api facade replaces: still importable,
+# but attribute access warns.  (Internal code imports these from
+# repro.core directly, which stays silent.)
+_DEPRECATED_EXPORTS = {
+    "FossTrainer": ("repro.core.trainer", "repro.api.FossSession"),
+    "FossOptimizer": ("repro.core.inference", "repro.api.FossSession.optimizer()"),
+}
+
+
+def __getattr__(name):
+    if name == "api":
+        return importlib.import_module("repro.api")
+    if name in _DEPRECATED_EXPORTS:
+        module_name, replacement = _DEPRECATED_EXPORTS[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} (see repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

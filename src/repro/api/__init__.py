@@ -1,0 +1,44 @@
+"""The stable public API: a SQL-text-in / plan-out facade over the system.
+
+This package is the one layer everything deployment-shaped goes through —
+examples, the experiment harness, benchmarks, and any future remote or
+async backend:
+
+* :class:`FossSession` — lifecycle facade: builds workload + engine
+  backend, trains the doctor, persists/reloads it as one artifact, and
+  hands out the deployable optimizer;
+* :class:`OptimizerService` — request/response serving: ``submit(sql) ->
+  PlanTicket`` / ``result(ticket)`` with micro-batched flushes, plus the
+  synchronous ``optimize_sql(sql) -> OptimizedPlan`` and
+  ``execute_sql(sql)``, memoized by query signature with latency/batch/
+  cache telemetry in ``stats()``;
+* :func:`create_optimizer` — named construction (``"foss"``,
+  ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``, ``"hybridqo"``, plus
+  anything registered via :func:`register_optimizer`);
+* :class:`OptimizeError` — the single typed failure for unparseable or
+  unbindable input.
+
+Serving honors the repo's determinism contracts: plans are batch-size
+invariant and bitwise-identical across ``engine_workers`` counts.
+"""
+
+from repro.api.registry import available_optimizers, create_optimizer, register_optimizer
+from repro.api.service import OptimizerService, PlanTicket, TicketResult
+from repro.api.session import FossSession
+from repro.core.inference import FossOptimizer, OptimizedPlan, OptimizeError, bind_sql
+from repro.core.trainer import FossConfig
+
+__all__ = [
+    "FossSession",
+    "OptimizerService",
+    "PlanTicket",
+    "TicketResult",
+    "OptimizedPlan",
+    "FossOptimizer",
+    "FossConfig",
+    "OptimizeError",
+    "bind_sql",
+    "create_optimizer",
+    "register_optimizer",
+    "available_optimizers",
+]

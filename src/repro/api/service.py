@@ -1,0 +1,313 @@
+"""Request/response serving over any optimizer: SQL text in, plan out.
+
+``OptimizerService`` is the deployment surface of the plan doctor:
+
+* :meth:`~OptimizerService.submit` — enqueue SQL text, get a
+  :class:`PlanTicket` back; queued requests are micro-batched through the
+  optimizer's ``optimize_many`` (one lockstep cohort per flush, fanned out
+  across engine workers by a sharded backend) when the queue reaches
+  ``max_batch_size`` or on :meth:`~OptimizerService.flush` /
+  :meth:`~OptimizerService.result`;
+* :meth:`~OptimizerService.optimize_sql` — the synchronous path, SQL text →
+  parse/bind → plan;
+* :meth:`~OptimizerService.execute_sql` — additionally runs the chosen plan
+  through the engine backend;
+* :meth:`~OptimizerService.stats` — serving telemetry: latency percentiles,
+  batch occupancy, cache hit rate.
+
+Plans are memoized by query signature (bounded LRU), and batching is
+plan-identical to one-at-a-time serving: the lockstep episode runner is
+batch-size invariant, and duplicate signatures inside one flush resolve to
+a single optimization.  Failures (malformed SQL, unknown tables) surface as
+one typed :class:`~repro.core.inference.OptimizeError` — the synchronous
+paths raise it, the ticket path maps it onto a failed ticket.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.inference import OptimizedPlan, OptimizeError, bind_sql
+from repro.engine.backend import EngineBackend
+from repro.executor.engine import ExecutionResult
+from repro.sql.ast import Query
+
+DEFAULT_MAX_BATCH_SIZE = 32
+DEFAULT_MEMO_CAPACITY = 4096
+DEFAULT_RESULTS_CAPACITY = 10_000  # redeemed-or-not ticket outcomes kept
+_LATENCY_WINDOW = 10_000  # per-request latencies kept for percentile stats
+
+
+@dataclass(frozen=True)
+class PlanTicket:
+    """A handle for one submitted request; redeem with ``result(ticket)``."""
+
+    ticket_id: int
+    sql: str
+
+
+@dataclass
+class TicketResult:
+    """The outcome of one submitted request."""
+
+    ticket_id: int
+    sql: str
+    status: str  # "done" | "failed"
+    plan: Optional[OptimizedPlan] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+class OptimizerService:
+    """Micro-batching, memoizing front door for a query optimizer.
+
+    Works with any optimizer exposing ``optimize(query) -> OptimizedPlan``;
+    an ``optimize_many`` batch mirror (e.g. the FOSS optimizer's) is used
+    when present so a whole flush costs one cohort run.
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        backend: EngineBackend,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+        results_capacity: int = DEFAULT_RESULTS_CAPACITY,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if results_capacity < 1:
+            raise ValueError("results_capacity must be >= 1")
+        self.optimizer = optimizer
+        self.backend = backend
+        self.max_batch_size = max_batch_size
+        self.memo_capacity = memo_capacity
+        self.results_capacity = results_capacity
+        self._memo: "OrderedDict[str, OptimizedPlan]" = OrderedDict()
+        self._pending: List[Tuple[int, str, Query]] = []
+        # Bounded like every other store: oldest outcomes age out, so a
+        # long-running service cannot leak one TicketResult per request.
+        self._results: "OrderedDict[int, TicketResult]" = OrderedDict()
+        self._next_ticket = 0
+        # telemetry
+        self._latencies_ms: List[float] = []
+        self._batch_count = 0
+        self._batch_occupancy_sum = 0
+        self._batch_occupancy_max = 0
+        self._hits = 0
+        self._misses = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------
+    # ticketed (micro-batched) path
+    # ------------------------------------------------------------------
+    def submit(self, sql: str) -> PlanTicket:
+        """Enqueue SQL text; binding failures become failed tickets."""
+        ticket = PlanTicket(self._next_ticket, sql)
+        self._next_ticket += 1
+        try:
+            query = bind_sql(self.backend, sql)
+        except OptimizeError as exc:
+            self._failures += 1
+            self._store_result(
+                TicketResult(ticket.ticket_id, sql, "failed", error=str(exc))
+            )
+            return ticket
+        self._pending.append((ticket.ticket_id, sql, query))
+        if len(self._pending) >= self.max_batch_size:
+            self.flush()
+        return ticket
+
+    def result(self, ticket) -> TicketResult:
+        """The outcome for a ticket, flushing the queue if still pending."""
+        ticket_id = ticket.ticket_id if isinstance(ticket, PlanTicket) else int(ticket)
+        if ticket_id not in self._results:
+            self.flush()
+        try:
+            return self._results[ticket_id]
+        except KeyError:
+            raise ValueError(f"unknown ticket {ticket_id}") from None
+
+    def flush(self) -> None:
+        """Resolve every queued request through one batched optimization."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        start = time.perf_counter()
+
+        # Deduplicate by query signature: memo hits and repeat submissions
+        # of the same query cost one optimization at most.  Hit plans are
+        # snapshotted here — the memo may evict them while this flush's own
+        # misses are memoized below.
+        unique: "OrderedDict[str, Query]" = OrderedDict()
+        resolved: Dict[str, object] = {}  # signature -> OptimizedPlan | OptimizeError
+        hit_signatures = set()
+        signatures: List[str] = []
+        for _ticket_id, _sql, query in pending:
+            signature = query.signature()
+            signatures.append(signature)
+            if signature in resolved or signature in unique:
+                continue
+            plan = self._memo.get(signature)
+            if plan is not None:
+                self._memo.move_to_end(signature)
+                resolved[signature] = plan
+                hit_signatures.add(signature)
+            else:
+                unique[signature] = query
+
+        if unique:
+            self._record_batch(len(unique))
+            for signature, outcome in zip(
+                unique, self._optimize_queries(list(unique.values()))
+            ):
+                resolved[signature] = outcome
+                if isinstance(outcome, OptimizedPlan):
+                    self._memoize(signature, outcome)
+
+        # Per-request accounting: a memo hit or a duplicate of an earlier
+        # request in this flush is a hit (``cached`` — it rode along for
+        # free), the first successful resolution of a signature is a miss,
+        # and every request whose outcome is an error is a failure.
+        elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(pending)
+        first_seen = set()
+        for (ticket_id, sql, _query), signature in zip(pending, signatures):
+            self._record_latency(elapsed_ms)
+            outcome = resolved[signature]
+            if isinstance(outcome, OptimizedPlan):
+                cached = signature in hit_signatures or signature in first_seen
+                if cached:
+                    self._hits += 1
+                else:
+                    first_seen.add(signature)
+                    self._misses += 1
+                self._store_result(
+                    TicketResult(ticket_id, sql, "done", plan=outcome, cached=cached)
+                )
+            else:
+                self._failures += 1
+                self._store_result(
+                    TicketResult(ticket_id, sql, "failed", error=str(outcome))
+                )
+
+    # ------------------------------------------------------------------
+    # synchronous path
+    # ------------------------------------------------------------------
+    def optimize_sql(self, sql: str) -> OptimizedPlan:
+        """SQL text → parse/bind → steered plan; raises :class:`OptimizeError`."""
+        return self._optimize_query(self._bind_counted(sql))
+
+    def execute_sql(self, sql: str, timeout_ms: Optional[float] = None) -> ExecutionResult:
+        """Optimize SQL text and execute the chosen plan on the backend."""
+        query = self._bind_counted(sql)
+        optimized = self._optimize_query(query)
+        return self.backend.execute(query, optimized.plan, timeout_ms=timeout_ms)
+
+    def _bind_counted(self, sql: str) -> Query:
+        try:
+            return bind_sql(self.backend, sql)
+        except OptimizeError:
+            self._failures += 1
+            raise
+
+    def _optimize_query(self, query: Query) -> OptimizedPlan:
+        start = time.perf_counter()
+        signature = query.signature()
+        hit = self._memo.get(signature)
+        if hit is not None:
+            self._hits += 1
+            self._memo.move_to_end(signature)
+            self._record_latency((time.perf_counter() - start) * 1000.0)
+            return hit
+        self._record_batch(1)
+        outcome = self._optimize_queries([query])[0]
+        self._record_latency((time.perf_counter() - start) * 1000.0)
+        if isinstance(outcome, OptimizeError):
+            self._failures += 1
+            raise outcome
+        self._misses += 1
+        self._memoize(signature, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _optimize_queries(self, queries: Sequence[Query]) -> List[object]:
+        """Optimize queries, returning an OptimizedPlan or OptimizeError each.
+
+        Prefers the optimizer's batch mirror; if the batch raises, falls
+        back to one-at-a-time so a single bad query cannot fail its whole
+        cohort (plans are batch-size invariant, so the fallback returns the
+        same plans the batch would have).
+        """
+        many = getattr(self.optimizer, "optimize_many", None)
+        if many is not None:
+            try:
+                return list(many(queries))
+            except OptimizeError:
+                pass
+        outcomes: List[object] = []
+        for query in queries:
+            try:
+                outcomes.append(self.optimizer.optimize(query))
+            except OptimizeError as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def _store_result(self, result: TicketResult) -> None:
+        while len(self._results) >= self.results_capacity:
+            self._results.popitem(last=False)
+        self._results[result.ticket_id] = result
+
+    def _record_batch(self, occupancy: int) -> None:
+        self._batch_count += 1
+        self._batch_occupancy_sum += occupancy
+        self._batch_occupancy_max = max(self._batch_occupancy_max, occupancy)
+
+    def _memoize(self, signature: str, plan: OptimizedPlan) -> None:
+        if self.memo_capacity <= 0:  # caching disabled
+            return
+        while self._memo and len(self._memo) >= self.memo_capacity:
+            self._memo.popitem(last=False)
+        self._memo[signature] = plan
+
+    def _record_latency(self, latency_ms: float) -> None:
+        self._latencies_ms.append(latency_ms)
+        if len(self._latencies_ms) > _LATENCY_WINDOW:
+            del self._latencies_ms[: -_LATENCY_WINDOW]
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Serving telemetry: latencies, batching, memoization."""
+        latencies = np.asarray(self._latencies_ms, dtype=float)
+        served = self._hits + self._misses
+        return {
+            "requests": served + self._failures,
+            "served": served,
+            "failures": self._failures,
+            "pending": len(self._pending),
+            "cache_hits": self._hits,
+            "cache_misses": self._misses,
+            "cache_hit_rate": self._hits / served if served else 0.0,
+            "memo_size": len(self._memo),
+            "latency_p50_ms": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+            "latency_p95_ms": float(np.percentile(latencies, 95)) if latencies.size else 0.0,
+            "latency_p99_ms": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+            "latency_mean_ms": float(latencies.mean()) if latencies.size else 0.0,
+            "batches": self._batch_count,
+            "mean_batch_occupancy": (
+                self._batch_occupancy_sum / self._batch_count if self._batch_count else 0.0
+            ),
+            "max_batch_occupancy": self._batch_occupancy_max,
+        }

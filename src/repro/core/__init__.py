@@ -31,7 +31,7 @@ from repro.core.planner import Planner, PlannerConfig, Episode
 from repro.core.batching import BatchedEpisodeRunner
 from repro.core.simenv import SimulatedEnvironment, RealEnvironment
 from repro.core.trainer import FossTrainer, FossConfig
-from repro.core.inference import FossOptimizer
+from repro.core.inference import FossOptimizer, OptimizeError, bind_sql
 
 __all__ = [
     "IncompletePlan",
@@ -52,4 +52,6 @@ __all__ = [
     "FossTrainer",
     "FossConfig",
     "FossOptimizer",
+    "OptimizeError",
+    "bind_sql",
 ]

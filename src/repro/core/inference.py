@@ -31,6 +31,28 @@ from repro.optimizer.plans import PlanNode, plan_signature
 from repro.sql.ast import Query
 
 
+class OptimizeError(RuntimeError):
+    """An optimizer could not produce a plan for the given input.
+
+    This is the single failure type the serving layer exposes: malformed
+    SQL, references to unknown tables/columns, and any other parse/bind
+    problem surface as one ``OptimizeError`` instead of leaking lexer,
+    parser or binder internals to callers.
+    """
+
+
+def bind_sql(database: EngineBackend, text: str, name: str = "") -> Query:
+    """Parse + bind SQL text through the engine, with typed failure.
+
+    Lex/parse/bind errors are all ``ValueError`` subclasses; anything the
+    engine rejects is re-raised as :class:`OptimizeError`.
+    """
+    try:
+        return database.sql(text, name=name)
+    except ValueError as exc:
+        raise OptimizeError(f"cannot bind SQL for optimization: {exc}") from exc
+
+
 @dataclass
 class OptimizedPlan:
     """FOSS's output for one query."""
@@ -173,11 +195,15 @@ class FossOptimizer:
         ]
 
     # ------------------------------------------------------------------
-    def optimize(self, query: Query) -> OptimizedPlan:
-        """Produce the estimated-optimal plan for the query."""
+    def optimize(self, query) -> OptimizedPlan:
+        """Produce the estimated-optimal plan for the query.
+
+        Accepts a bound :class:`Query` or raw SQL text; unparseable or
+        unbindable text raises :class:`OptimizeError`.
+        """
         return self.optimize_many([query])[0]
 
-    def optimize_many(self, queries: Sequence[Query]) -> List[OptimizedPlan]:
+    def optimize_many(self, queries: Sequence) -> List[OptimizedPlan]:
         """Optimize a batch of queries, amortizing every forward pass.
 
         Each agent runs all queries' episodes in lockstep cohorts; the
@@ -187,6 +213,10 @@ class FossOptimizer:
         """
         if not queries:
             return []
+        queries = [
+            bind_sql(self.database, query) if isinstance(query, str) else query
+            for query in queries
+        ]
         start = time.perf_counter()
         per_agent: List[List[Episode]] = [
             runner.run(self._environment, queries, deterministic=True)

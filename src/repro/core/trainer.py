@@ -89,12 +89,22 @@ class IterationStats:
 class FossTrainer:
     """Owns every FOSS component and runs the training loop."""
 
-    def __init__(self, workload: Workload, config: Optional[FossConfig] = None) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[FossConfig] = None,
+        database: Optional[EngineBackend] = None,
+    ) -> None:
         self.workload = workload
         self.config = config if config is not None else FossConfig()
         # engine_workers selects the backend: 1 = the workload's in-process
         # engine, >1 = a sharded worker pool built from the workload's spec.
-        self.database: EngineBackend = make_backend(workload, self.config.engine_workers)
+        # An injected backend (e.g. from a FossSession that owns its
+        # lifecycle) is used as-is and never shut down by this trainer.
+        self._owns_backend = database is None
+        self.database: EngineBackend = (
+            database if database is not None else make_backend(workload, self.config.engine_workers)
+        )
         self.rng = np.random.default_rng(self.config.seed)
 
         max_nodes = 2 * max(workload.max_query_tables, 2)
@@ -289,7 +299,7 @@ class FossTrainer:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the engine backend (shuts down sharded worker pools)."""
-        if isinstance(self.database, ShardedBackend):
+        if self._owns_backend and isinstance(self.database, ShardedBackend):
             self.database.close()
 
     def __enter__(self) -> "FossTrainer":

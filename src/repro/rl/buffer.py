@@ -1,5 +1,14 @@
-"""Compatibility re-export: the experience buffers live in
+"""Deprecated compatibility re-export: the experience buffers live in
 :mod:`repro.core.buffer` (single implementation, see that module)."""
+
+import warnings
+
+warnings.warn(
+    "repro.rl.buffer is deprecated; import Transition/Batch/RolloutBuffer "
+    "from repro.core.buffer",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.core.buffer import Batch, RolloutBuffer, Transition
 

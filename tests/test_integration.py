@@ -7,7 +7,8 @@ budgets that still verify behaviour (not quality).
 import numpy as np
 import pytest
 
-from repro import FossConfig, FossTrainer, build_workload_by_name
+from repro import FossConfig, build_workload_by_name
+from repro.core import FossTrainer
 from repro.baselines.bao import BaoOptimizer
 from repro.baselines.postgres import PostgresOptimizer
 from repro.core.aam import AAMConfig
