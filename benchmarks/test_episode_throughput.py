@@ -18,19 +18,15 @@ Run with ``pytest benchmarks/test_episode_throughput.py`` (excluded from
 tier-1 by ``testpaths``).
 """
 
-import json
 import os
-import platform
 import time
-from pathlib import Path
 
 import pytest
+from bench_results import update_results
 
 from repro.core.aam import AAMConfig
 from repro.core.trainer import FossConfig, FossTrainer
 from repro.workloads.job import build_job_workload
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 NUM_EPISODES = 128
 BATCH_SIZE = 64
@@ -105,16 +101,7 @@ def test_episode_throughput():
     sharded_engine_eps = engine_bound_eps(engine_workers=ENGINE_WORKERS)
     sharded_speedup = sharded_engine_eps / local_engine_eps
 
-    # Machine metadata rides along with every entry so numbers recorded on
-    # a small box (e.g. the 1-CPU CI container, where sharded ~0.92x is
-    # pure IPC overhead) cannot be misread as regressions when re-run on
-    # real multi-core hardware.
     cpu_count = os.cpu_count()
-    machine = {
-        "cpu_count": cpu_count,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
     engine_bound = {
         "num_episodes": ENGINE_EPISODES,
         "engine_workers": ENGINE_WORKERS,
@@ -129,20 +116,15 @@ def test_episode_throughput():
             "measures IPC overhead, not scaling; the >= 1.5x bar applies "
             "only on >= 4 cores"
         )
-    RESULTS_PATH.write_text(
-        json.dumps(
-            {
-                "machine": machine,
-                "num_episodes": NUM_EPISODES,
-                "episode_batch_size": BATCH_SIZE,
-                "sequential_eps": round(sequential_eps, 2),
-                "batched_eps": round(batched_eps, 2),
-                "speedup": round(speedup, 2),
-                "engine_bound": engine_bound,
-            },
-            indent=2,
-        )
-        + "\n"
+    update_results(
+        {
+            "num_episodes": NUM_EPISODES,
+            "episode_batch_size": BATCH_SIZE,
+            "sequential_eps": round(sequential_eps, 2),
+            "batched_eps": round(batched_eps, 2),
+            "speedup": round(speedup, 2),
+            "engine_bound": engine_bound,
+        }
     )
 
     print(

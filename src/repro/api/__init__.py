@@ -11,19 +11,34 @@ async backend:
   PlanTicket`` / ``result(ticket)`` with micro-batched flushes, plus the
   synchronous ``optimize_sql(sql) -> OptimizedPlan`` and
   ``execute_sql(sql)``, memoized by query signature with latency/batch/
-  cache telemetry in ``stats()``;
+  cache telemetry in ``stats()``.  Thread-safe: ``start()``/``stop()`` run
+  a background flusher that micro-batches submissions from many client
+  threads (size- and time-triggered), and ``wait(ticket, timeout)`` blocks
+  on a per-ticket event;
+* :class:`ServiceGroup` — multi-tenant serving: N named tenants, each a
+  ``FossSession``-backed service with its own memo/stats, all routing
+  through one shared (thread-safe) engine pool;
 * :func:`create_optimizer` — named construction (``"foss"``,
   ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``, ``"hybridqo"``, plus
   anything registered via :func:`register_optimizer`);
 * :class:`OptimizeError` — the single typed failure for unparseable or
-  unbindable input.
+  unbindable input; :class:`TicketEvictedError` — the ticket was served
+  but its outcome aged out of the bounded results store.
 
 Serving honors the repo's determinism contracts: plans are batch-size
-invariant and bitwise-identical across ``engine_workers`` counts.
+invariant, bitwise-identical across ``engine_workers`` counts, and
+bitwise-identical under concurrent submission (only ordering and
+telemetry may differ between threaded and sequential serving).
 """
 
+from repro.api.group import ServiceGroup
 from repro.api.registry import available_optimizers, create_optimizer, register_optimizer
-from repro.api.service import OptimizerService, PlanTicket, TicketResult
+from repro.api.service import (
+    OptimizerService,
+    PlanTicket,
+    TicketEvictedError,
+    TicketResult,
+)
 from repro.api.session import FossSession
 from repro.core.inference import FossOptimizer, OptimizedPlan, OptimizeError, bind_sql
 from repro.core.trainer import FossConfig
@@ -31,7 +46,9 @@ from repro.core.trainer import FossConfig
 __all__ = [
     "FossSession",
     "OptimizerService",
+    "ServiceGroup",
     "PlanTicket",
+    "TicketEvictedError",
     "TicketResult",
     "OptimizedPlan",
     "FossOptimizer",

@@ -1,0 +1,239 @@
+"""Multi-tenant serving: N named sessions over one shared engine pool.
+
+``ServiceGroup`` is the deployment shape the ROADMAP's north star names —
+per-tenant plan doctors sharing one sharded engine — without hand-wiring
+the pieces: each tenant gets its own :class:`~repro.api.session.FossSession`
+(own trainer/optimizer, own :class:`~repro.api.service.OptimizerService`
+with its own memo and stats), while every tenant's planning and execution
+RPCs route through **one** shared :class:`~repro.engine.backend.EngineBackend`
+(a :class:`~repro.engine.backend.ShardedBackend` worker pool for
+``engine_workers > 1``):
+
+    from repro.api import ServiceGroup
+
+    with ServiceGroup.open("job", tenants=("alpha", "beta"),
+                           scale=0.05, engine_workers=4) as group:
+        group.start()                      # one flusher per tenant
+        ticket = group.submit("alpha", "SELECT COUNT(*) FROM title AS t ...")
+        plan = group.wait("alpha", ticket, timeout=30).plan
+
+Isolation and sharing are split exactly along the determinism contract:
+models, memos and telemetry are per-tenant; the engine — a pure function
+of the dataset — is shared, so concurrent tenants cost one dataset and one
+worker pool instead of N.  The backend's request path is thread-safe
+(per-worker pipe locks), so tenants can have RPCs in flight simultaneously
+without desynchronizing the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api.service import OptimizerService, PlanTicket, TicketResult
+from repro.api.session import FossSession
+from repro.core.trainer import FossConfig
+from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
+from repro.workloads.base import Workload, build_workload_by_name
+
+
+class ServiceGroup:
+    """Named tenant sessions + services over one shared engine backend."""
+
+    def __init__(
+        self,
+        sessions: "OrderedDict[str, FossSession]",
+        backend: EngineBackend,
+        owns_backend: bool = True,
+    ) -> None:
+        if not sessions:
+            raise ValueError("ServiceGroup needs at least one tenant")
+        if "backend" in sessions:
+            raise ValueError(
+                "tenant name 'backend' is reserved (stats() uses it for the "
+                "shared pool's counters)"
+            )
+        self.backend = backend
+        self._owns_backend = owns_backend
+        self._sessions = OrderedDict(sessions)
+        self._services: Dict[str, OptimizerService] = {}
+        self._lock = threading.Lock()  # guards lazy per-tenant service builds
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        workload: Union[str, Workload] = "job",
+        tenants: Union[Sequence[str], Mapping[str, FossConfig]] = ("tenant-0", "tenant-1"),
+        *,
+        scale: float = 1.0,
+        seed: int = 1,
+        config: Optional[FossConfig] = None,
+        engine_workers: Optional[int] = None,
+        backend: Optional[EngineBackend] = None,
+    ) -> "ServiceGroup":
+        """Stand up one workload + engine pool and a session per tenant.
+
+        ``tenants`` is either a sequence of names (every tenant shares
+        ``config``) or a name → :class:`FossConfig` mapping for per-tenant
+        configs.  The shared backend is built once — sharded when
+        ``engine_workers`` (default: the config's ``engine_workers``) is
+        above 1 — and injected into every session, which therefore does
+        not own (or close) it; the group does.
+        """
+        base_config = config if config is not None else FossConfig()
+        if isinstance(tenants, Mapping):
+            tenant_configs = OrderedDict(tenants)
+        else:
+            names = list(tenants)
+            if len(names) != len(set(names)):
+                raise ValueError("tenant names must be unique")
+            tenant_configs = OrderedDict((name, base_config) for name in names)
+        if not tenant_configs:
+            raise ValueError("ServiceGroup.open needs at least one tenant name")
+        if "backend" in tenant_configs:
+            # Validate before paying for the dataset build and worker pool.
+            raise ValueError(
+                "tenant name 'backend' is reserved (stats() uses it for the "
+                "shared pool's counters)"
+            )
+        if isinstance(workload, str):
+            workload = build_workload_by_name(workload, scale=scale, seed=seed)
+        elif not isinstance(workload, Workload):
+            raise TypeError(
+                f"workload must be a name or a Workload, got {type(workload).__name__}"
+            )
+        owns_backend = backend is None
+        if backend is None:
+            workers = engine_workers if engine_workers is not None else base_config.engine_workers
+            backend = make_backend(workload, workers)
+        sessions: "OrderedDict[str, FossSession]" = OrderedDict()
+        for name, tenant_config in tenant_configs.items():
+            sessions[name] = FossSession.open(
+                workload=workload, config=tenant_config, backend=backend
+            )
+        return cls(sessions, backend, owns_backend=owns_backend)
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> List[str]:
+        return list(self._sessions)
+
+    def session(self, tenant: str) -> FossSession:
+        try:
+            return self._sessions[tenant]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {tenant!r}; have {sorted(self._sessions)}"
+            ) from None
+
+    def service(self, tenant: str, **kwargs) -> OptimizerService:
+        """The tenant's :class:`OptimizerService`, built on first use.
+
+        ``kwargs`` (memo/results capacities, batch size, flush interval)
+        apply only on the first call for a tenant — the built service is
+        cached and shared by every later caller.
+        """
+        session = self.session(tenant)  # raises on unknown tenants
+        with self._lock:
+            self._check_open()
+            existing = self._services.get(tenant)
+        if existing is not None:
+            return existing
+        # Build outside the group lock: the first build pays the session's
+        # lazy optimizer construction, and other tenants' requests must not
+        # stall behind it.  A concurrent duplicate build loses to
+        # setdefault (the session memoizes the heavy optimizer, so the
+        # loser only wasted a thin wrapper).
+        built = session.service(**kwargs)
+        with self._lock:
+            self._check_open()
+            return self._services.setdefault(tenant, built)
+
+    # ------------------------------------------------------------------
+    # serving conveniences (thread-safe via the per-tenant services)
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, sql: str) -> PlanTicket:
+        return self.service(tenant).submit(sql)
+
+    def result(self, tenant: str, ticket, timeout: Optional[float] = None) -> TicketResult:
+        return self.service(tenant).result(ticket, timeout=timeout)
+
+    def wait(self, tenant: str, ticket, timeout: Optional[float] = None) -> TicketResult:
+        return self.service(tenant).wait(ticket, timeout=timeout)
+
+    def optimize_sql(self, tenant: str, sql: str):
+        return self.service(tenant).optimize_sql(sql)
+
+    def execute_sql(self, tenant: str, sql: str, timeout_ms: Optional[float] = None):
+        return self.service(tenant).execute_sql(sql, timeout_ms=timeout_ms)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, flush_interval_ms: Optional[float] = None) -> "ServiceGroup":
+        """Start every tenant's background flusher (building services lazily)."""
+        for tenant in self.tenants:
+            self.service(tenant).start(flush_interval_ms=flush_interval_ms)
+        return self
+
+    def stop(self) -> None:
+        """Stop every started tenant flusher and drain their queues.
+
+        Every tenant is stopped even if one raises (e.g. a wedged flusher
+        timing out its join); the first error is re-raised at the end.
+        """
+        with self._lock:
+            services = list(self._services.values())
+        first_error: Optional[Exception] = None
+        for service in services:
+            try:
+                service.stop()
+            except Exception as exc:
+                first_error = first_error or exc
+        if first_error is not None:
+            raise first_error
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant serving stats plus the shared backend's counters."""
+        with self._lock:
+            services = dict(self._services)
+        out: Dict[str, Dict[str, float]] = {
+            tenant: service.stats() for tenant, service in services.items()
+        }
+        out["backend"] = self.backend.stats()
+        return out
+
+    def close(self) -> None:
+        """Stop services, close every session, then the shared pool; idempotent.
+
+        Sessions and the pool are released even if a wedged flusher makes
+        :meth:`stop` raise — a failed stop must not orphan worker
+        processes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.stop()
+        finally:
+            for session in self._sessions.values():
+                session.close()  # sessions do not own the injected backend
+            if self._owns_backend and isinstance(self.backend, ShardedBackend):
+                self.backend.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ServiceGroup is closed")
+
+    def __enter__(self) -> "ServiceGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,6 +8,13 @@
   across engine workers by a sharded backend) when the queue reaches
   ``max_batch_size`` or on :meth:`~OptimizerService.flush` /
   :meth:`~OptimizerService.result`;
+* :meth:`~OptimizerService.start` / :meth:`~OptimizerService.stop` — a
+  background flusher thread that micro-batches submissions from many
+  client threads: flushes are size-triggered (the queue reaches
+  ``max_batch_size``) and time-triggered (``flush_interval_ms`` elapses
+  with requests pending);
+* :meth:`~OptimizerService.wait` — block on a per-ticket event until the
+  outcome is available (or ``timeout`` elapses);
 * :meth:`~OptimizerService.optimize_sql` — the synchronous path, SQL text →
   parse/bind → plan;
 * :meth:`~OptimizerService.execute_sql` — additionally runs the chosen plan
@@ -15,16 +22,28 @@
 * :meth:`~OptimizerService.stats` — serving telemetry: latency percentiles,
   batch occupancy, cache hit rate.
 
+The service is thread-safe end to end: any number of client threads may
+submit/wait/optimize concurrently with the flusher.  One lock guards the
+pending queue, the memo/results stores and the telemetry counters; a
+second serializes calls into the optimizer itself (whose episode runners
+and score caches are single-flight).  Plans served under concurrency are
+bitwise-identical to the single-threaded path — the optimizer is a pure
+function of the query — only request ordering and telemetry may differ.
+
 Plans are memoized by query signature (bounded LRU), and batching is
 plan-identical to one-at-a-time serving: the lockstep episode runner is
 batch-size invariant, and duplicate signatures inside one flush resolve to
 a single optimization.  Failures (malformed SQL, unknown tables) surface as
 one typed :class:`~repro.core.inference.OptimizeError` — the synchronous
-paths raise it, the ticket path maps it onto a failed ticket.
+paths raise it, the ticket path maps it onto a failed ticket.  A ticket
+whose outcome aged out of the bounded results store raises
+:class:`TicketEvictedError` (distinct from the ``ValueError`` a
+never-issued ticket id gets).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -40,7 +59,23 @@ from repro.sql.ast import Query
 DEFAULT_MAX_BATCH_SIZE = 32
 DEFAULT_MEMO_CAPACITY = 4096
 DEFAULT_RESULTS_CAPACITY = 10_000  # redeemed-or-not ticket outcomes kept
+DEFAULT_FLUSH_INTERVAL_MS = 2.0  # background flusher time trigger
 _LATENCY_WINDOW = 10_000  # per-request latencies kept for percentile stats
+# result() only blocks when another thread holds the ticket in an
+# in-flight flush; the bound turns a deadlocked flusher into a loud
+# TimeoutError instead of a hang.
+_RESULT_WAIT_S = 60.0
+
+
+class TicketEvictedError(ValueError):
+    """The ticket was resolved, but its outcome aged out of the bounded
+    results store before it was redeemed.
+
+    Distinct from the plain ``ValueError`` raised for a never-issued
+    ticket id: an evicted ticket *was* served — raise ``results_capacity``
+    or redeem sooner.  Subclasses ``ValueError`` so callers that treated
+    every unredeemable ticket alike keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -68,11 +103,17 @@ class TicketResult:
 
 
 class OptimizerService:
-    """Micro-batching, memoizing front door for a query optimizer.
+    """Micro-batching, memoizing, thread-safe front door for an optimizer.
 
     Works with any optimizer exposing ``optimize(query) -> OptimizedPlan``;
     an ``optimize_many`` batch mirror (e.g. the FOSS optimizer's) is used
     when present so a whole flush costs one cohort run.
+
+    Without :meth:`start`, the service behaves synchronously: ``submit``
+    flushes inline when the queue fills, ``result`` flushes on demand.
+    With the flusher running, submissions from any number of client
+    threads are batched on size/time triggers and redeemed via
+    :meth:`wait` or :meth:`result`.
     """
 
     def __init__(
@@ -82,21 +123,45 @@ class OptimizerService:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         memo_capacity: int = DEFAULT_MEMO_CAPACITY,
         results_capacity: int = DEFAULT_RESULTS_CAPACITY,
+        flush_interval_ms: float = DEFAULT_FLUSH_INTERVAL_MS,
+        optimize_lock: Optional[threading.Lock] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if results_capacity < 1:
             raise ValueError("results_capacity must be >= 1")
+        if flush_interval_ms <= 0:
+            raise ValueError("flush_interval_ms must be > 0")
         self.optimizer = optimizer
         self.backend = backend
         self.max_batch_size = max_batch_size
         self.memo_capacity = memo_capacity
         self.results_capacity = results_capacity
+        self.flush_interval_ms = flush_interval_ms
+        # _lock guards every piece of serving state below; _wakeup (same
+        # underlying lock) is how submit() pokes the flusher on a size
+        # trigger.  _optimize_lock serializes calls into the optimizer —
+        # its episode runners and score caches are not reentrant — and is
+        # only ever taken *without* _lock held, so client threads can keep
+        # submitting while a flush is optimizing.  The lock belongs to
+        # whoever owns the optimizer: FossSession passes one shared lock
+        # to every service it builds, so two services over the same
+        # session's optimizer still serialize on it.
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._optimize_lock = optimize_lock if optimize_lock is not None else threading.Lock()
+        self._flusher_thread: Optional[threading.Thread] = None
+        self._stop_requested = False
         self._memo: "OrderedDict[str, OptimizedPlan]" = OrderedDict()
         self._pending: List[Tuple[int, str, Query]] = []
+        self._pending_ids: set = set()  # O(1) "is it queued?" for result()/wait()
         # Bounded like every other store: oldest outcomes age out, so a
         # long-running service cannot leak one TicketResult per request.
         self._results: "OrderedDict[int, TicketResult]" = OrderedDict()
+        # One event per unresolved ticket; set (and dropped) when the
+        # outcome lands in _results.  Doubles as the issued-but-unresolved
+        # ledger: an issued id with no event and no result was evicted.
+        self._events: Dict[int, threading.Event] = {}
         self._next_ticket = 0
         # telemetry
         self._latencies_ms: List[float] = []
@@ -106,98 +171,327 @@ class OptimizerService:
         self._hits = 0
         self._misses = 0
         self._failures = 0
+        self._result_evictions = 0
+
+    # ------------------------------------------------------------------
+    # background flusher lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the background flusher thread is running."""
+        return self._flusher_alive()
+
+    def _flusher_alive(self) -> bool:
+        thread = self._flusher_thread
+        return thread is not None and thread.is_alive()
+
+    def start(self, flush_interval_ms: Optional[float] = None) -> "OptimizerService":
+        """Start the background flusher thread; idempotent.
+
+        Returns ``self`` so ``with session.service().start() as svc:``
+        reads naturally; :meth:`stop` is called on context exit.  A stale
+        thread left by a timed-out :meth:`stop` that has since exited is
+        replaced.  Calling start() while another thread's stop() is still
+        draining raises instead of silently no-opping — the caller would
+        otherwise believe a flusher runs that is about to exit.
+        """
+        with self._lock:
+            if self._flusher_alive():
+                if self._stop_requested:
+                    raise RuntimeError(
+                        "cannot start(): a stop() is still draining the flusher; "
+                        "retry after it returns"
+                    )
+                return self
+            if flush_interval_ms is not None:
+                if flush_interval_ms <= 0:
+                    raise ValueError("flush_interval_ms must be > 0")
+                self.flush_interval_ms = float(flush_interval_ms)
+            self._stop_requested = False
+            self._flusher_thread = threading.Thread(
+                target=self._flush_loop, name="optimizer-service-flusher", daemon=True
+            )
+            self._flusher_thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the flusher and drain the queue; idempotent.
+
+        Raises ``RuntimeError`` if the thread does not exit within
+        ``timeout`` seconds (a deadlocked flusher should fail loudly, not
+        hang its caller).  The stop request stays set on a timeout, so a
+        slow-but-healthy flusher exits after its current flush and a
+        retried ``stop()`` (or a later ``start()``) recovers the service.
+        """
+        with self._lock:
+            thread = self._flusher_thread
+            if thread is None:
+                return
+            self._stop_requested = True
+            self._wakeup.notify_all()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise RuntimeError(f"flusher thread did not stop within {timeout}s")
+        with self._lock:
+            # A concurrent start() may have replaced the thread while we
+            # were joining; only clear the state if it is still ours.
+            if self._flusher_thread is thread:
+                self._flusher_thread = None
+                self._stop_requested = False
+        self.flush()  # anything submitted after the flusher's final pass
+
+    def _flush_loop(self) -> None:
+        interval = self.flush_interval_ms / 1000.0
+        while True:
+            with self._lock:
+                if not self._stop_requested and len(self._pending) < self.max_batch_size:
+                    # Sleep until the time trigger, a size-trigger notify
+                    # from submit(), or a stop() notify.
+                    self._wakeup.wait(timeout=interval)
+                should_flush = bool(self._pending)
+                if self._stop_requested and not should_flush:
+                    return
+            if should_flush:
+                try:
+                    self.flush()
+                except Exception:
+                    # flush() already mapped the failure onto every ticket
+                    # it was holding; the flusher itself must survive.
+                    pass
+
+    def __enter__(self) -> "OptimizerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
     # ------------------------------------------------------------------
     # ticketed (micro-batched) path
     # ------------------------------------------------------------------
     def submit(self, sql: str) -> PlanTicket:
         """Enqueue SQL text; binding failures become failed tickets."""
-        ticket = PlanTicket(self._next_ticket, sql)
-        self._next_ticket += 1
+        with self._lock:
+            ticket_id = self._next_ticket
+            self._next_ticket += 1
+            self._events[ticket_id] = threading.Event()
+        ticket = PlanTicket(ticket_id, sql)
         try:
+            # Outside the service lock: binding goes through the (itself
+            # thread-safe) backend and must not stall other submitters.
             query = bind_sql(self.backend, sql)
         except OptimizeError as exc:
-            self._failures += 1
-            self._store_result(
-                TicketResult(ticket.ticket_id, sql, "failed", error=str(exc))
-            )
+            with self._lock:
+                self._failures += 1
+                self._store_result(
+                    TicketResult(ticket_id, sql, "failed", error=str(exc))
+                )
             return ticket
-        self._pending.append((ticket.ticket_id, sql, query))
-        if len(self._pending) >= self.max_batch_size:
+        except BaseException:
+            # An unexpected binder failure propagates to the caller (who
+            # never receives the ticket), but must not orphan the event —
+            # the events ledger is the one store without a capacity bound.
+            with self._lock:
+                self._events.pop(ticket_id, None)
+            raise
+        flush_inline = False
+        with self._lock:
+            self._pending.append((ticket_id, sql, query))
+            self._pending_ids.add(ticket_id)
+            if len(self._pending) >= self.max_batch_size:
+                if self._flusher_alive():
+                    self._wakeup.notify_all()  # size trigger
+                else:
+                    flush_inline = True
+        if flush_inline:
             self.flush()
         return ticket
 
-    def result(self, ticket) -> TicketResult:
-        """The outcome for a ticket, flushing the queue if still pending."""
-        ticket_id = ticket.ticket_id if isinstance(ticket, PlanTicket) else int(ticket)
-        if ticket_id not in self._results:
+    def result(self, ticket, timeout: Optional[float] = None) -> TicketResult:
+        """The outcome for a ticket, flushing the queue if still pending.
+
+        If the ticket rides in another thread's in-flight flush, blocks
+        (bounded) until that flush stores it.  Raises
+        :class:`TicketEvictedError` for an outcome that aged out of the
+        results store, ``ValueError`` for a never-issued id, and
+        ``TimeoutError`` if an in-flight resolution does not land in time.
+        """
+        ticket_id = self._ticket_id(ticket)
+        while True:
+            with self._lock:
+                hit = self._results.get(ticket_id)
+                if hit is not None:
+                    return hit
+                event = self._events.get(ticket_id)
+                if event is None:
+                    if 0 <= ticket_id < self._next_ticket:
+                        raise TicketEvictedError(
+                            f"ticket {ticket_id} was served but its outcome aged out "
+                            f"of the results store (results_capacity="
+                            f"{self.results_capacity}); redeem sooner or raise the capacity"
+                        )
+                    raise ValueError(f"unknown ticket {ticket_id}")
+                pending_here = ticket_id in self._pending_ids
+            if pending_here:
+                self.flush()
+                continue
+            # Queued behind the flusher or inside another thread's flush.
+            if not event.wait(timeout if timeout is not None else _RESULT_WAIT_S):
+                raise TimeoutError(
+                    f"ticket {ticket_id} was not resolved within "
+                    f"{timeout if timeout is not None else _RESULT_WAIT_S}s"
+                )
+
+    def wait(self, ticket, timeout: Optional[float] = None) -> TicketResult:
+        """Block until the ticket's outcome is available, then return it.
+
+        The blocking primitive is a per-ticket event set by whichever
+        flush stores the outcome — submitting threads can sleep here while
+        the background flusher micro-batches.  ``timeout=None`` waits
+        indefinitely; on expiry ``TimeoutError`` is raised and the ticket
+        stays redeemable.  Without a running flusher the pending queue is
+        flushed inline first, so ``wait`` never deadlocks a synchronous
+        service.
+        """
+        ticket_id = self._ticket_id(ticket)
+        with self._lock:
+            hit = self._results.get(ticket_id)
+            if hit is not None:
+                return hit
+            event = self._events.get(ticket_id)
+            flusher_running = self._flusher_alive()
+            pending_here = event is not None and ticket_id in self._pending_ids
+        if event is None:
+            return self.result(ticket_id)  # raises evicted/unknown as appropriate
+        if pending_here and not flusher_running:
             self.flush()
-        try:
-            return self._results[ticket_id]
-        except KeyError:
-            raise ValueError(f"unknown ticket {ticket_id}") from None
+        if not event.wait(timeout):
+            raise TimeoutError(f"ticket {ticket_id} was not resolved within {timeout}s")
+        return self.result(ticket_id)
 
     def flush(self) -> None:
-        """Resolve every queued request through one batched optimization."""
-        if not self._pending:
-            return
-        pending, self._pending = self._pending, []
-        start = time.perf_counter()
+        """Resolve every queued request through batched optimizations.
 
-        # Deduplicate by query signature: memo hits and repeat submissions
-        # of the same query cost one optimization at most.  Hit plans are
-        # snapshotted here — the memo may evict them while this flush's own
-        # misses are memoized below.
-        unique: "OrderedDict[str, Query]" = OrderedDict()
+        The queue is drained in slices of at most ``max_batch_size`` — one
+        micro-batch (one ``optimize_many`` cohort) per slice, so the
+        configured cap holds even when a burst of submissions piles up
+        while the flusher is busy optimizing.
+        """
+        while self._flush_slice():
+            pass
+
+    def _flush_slice(self) -> bool:
+        """Resolve up to ``max_batch_size`` queued requests; False if idle.
+
+        Thread-safe: the slice is snatched under the lock, optimization
+        runs outside it (so submitters are never blocked on planning), and
+        outcomes are stored under the lock again.  Hardened end to end: if
+        *anything* after the slice leaves the queue raises — a misbehaving
+        optimizer returning the wrong count, a signature failure, not just
+        :meth:`_optimize_queries` — every still-unresolved ticket of the
+        slice is stored before the exception propagates (memo hits with
+        their snapshotted plans, the rest as failed), so a waiter is never
+        left hanging.
+        """
+        with self._lock:
+            if not self._pending:
+                return False
+            pending = self._pending[: self.max_batch_size]
+            del self._pending[: self.max_batch_size]
+            self._pending_ids.difference_update(entry[0] for entry in pending)
+
+        # Bound before the try: the hardening below reads them even when
+        # the dedup phase itself is what raised.
         resolved: Dict[str, object] = {}  # signature -> OptimizedPlan | OptimizeError
-        hit_signatures = set()
         signatures: List[str] = []
-        for _ticket_id, _sql, query in pending:
-            signature = query.signature()
-            signatures.append(signature)
-            if signature in resolved or signature in unique:
-                continue
-            plan = self._memo.get(signature)
-            if plan is not None:
-                self._memo.move_to_end(signature)
-                resolved[signature] = plan
-                hit_signatures.add(signature)
-            else:
-                unique[signature] = query
+        try:
+            with self._lock:
+                # Deduplicate by query signature: memo hits and repeat
+                # submissions of the same query cost one optimization at
+                # most.  Hit plans are snapshotted here — the memo may
+                # evict them while this flush's own misses are memoized
+                # below.
+                unique: "OrderedDict[str, Query]" = OrderedDict()
+                hit_signatures = set()
+                for _ticket_id, _sql, query in pending:
+                    signature = query.signature()
+                    signatures.append(signature)
+                    if signature in resolved or signature in unique:
+                        continue
+                    plan = self._memo.get(signature)
+                    if plan is not None:
+                        self._memo.move_to_end(signature)
+                        resolved[signature] = plan
+                        hit_signatures.add(signature)
+                    else:
+                        unique[signature] = query
+                if unique:
+                    self._record_batch(len(unique))
 
-        if unique:
-            self._record_batch(len(unique))
-            for signature, outcome in zip(
-                unique, self._optimize_queries(list(unique.values()))
-            ):
-                resolved[signature] = outcome
-                if isinstance(outcome, OptimizedPlan):
-                    self._memoize(signature, outcome)
+            start = time.perf_counter()
+            outcomes = self._optimize_queries(list(unique.values())) if unique else []
+            if len(outcomes) != len(unique):
+                raise RuntimeError(
+                    f"optimizer returned {len(outcomes)} outcomes for "
+                    f"{len(unique)} queries"
+                )
+            elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(pending)
 
-        # Per-request accounting: a memo hit or a duplicate of an earlier
-        # request in this flush is a hit (``cached`` — it rode along for
-        # free), the first successful resolution of a signature is a miss,
-        # and every request whose outcome is an error is a failure.
-        elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(pending)
-        first_seen = set()
-        for (ticket_id, sql, _query), signature in zip(pending, signatures):
-            self._record_latency(elapsed_ms)
-            outcome = resolved[signature]
-            if isinstance(outcome, OptimizedPlan):
-                cached = signature in hit_signatures or signature in first_seen
-                if cached:
-                    self._hits += 1
-                else:
-                    first_seen.add(signature)
-                    self._misses += 1
-                self._store_result(
-                    TicketResult(ticket_id, sql, "done", plan=outcome, cached=cached)
-                )
-            else:
-                self._failures += 1
-                self._store_result(
-                    TicketResult(ticket_id, sql, "failed", error=str(outcome))
-                )
+            with self._lock:
+                for signature, outcome in zip(unique, outcomes):
+                    resolved[signature] = outcome
+                    if isinstance(outcome, OptimizedPlan):
+                        self._memoize(signature, outcome)
+
+                # Per-request accounting: a memo hit or a duplicate of an
+                # earlier request in this flush is a hit (``cached`` — it
+                # rode along for free), the first successful resolution of
+                # a signature is a miss, and every request whose outcome
+                # is an error is a failure.
+                first_seen = set()
+                for (ticket_id, sql, _query), signature in zip(pending, signatures):
+                    self._record_latency(elapsed_ms)
+                    outcome = resolved[signature]
+                    if isinstance(outcome, OptimizedPlan):
+                        cached = signature in hit_signatures or signature in first_seen
+                        if cached:
+                            self._hits += 1
+                        else:
+                            first_seen.add(signature)
+                            self._misses += 1
+                        self._store_result(
+                            TicketResult(
+                                ticket_id, sql, "done", plan=outcome, cached=cached
+                            )
+                        )
+                    else:
+                        self._failures += 1
+                        self._store_result(
+                            TicketResult(ticket_id, sql, "failed", error=str(outcome))
+                        )
+        except BaseException as exc:
+            with self._lock:
+                for index, (ticket_id, sql, _query) in enumerate(pending):
+                    if ticket_id not in self._events:
+                        continue  # outcome already stored before the failure
+                    outcome = resolved.get(signatures[index]) if index < len(signatures) else None
+                    if isinstance(outcome, OptimizedPlan):
+                        # Snapshotted from the memo before the failure —
+                        # still a perfectly good plan.
+                        self._hits += 1
+                        self._store_result(
+                            TicketResult(
+                                ticket_id, sql, "done", plan=outcome, cached=True
+                            )
+                        )
+                    else:
+                        self._failures += 1
+                        self._store_result(
+                            TicketResult(
+                                ticket_id, sql, "failed", error=f"flush failed: {exc!r}"
+                            )
+                        )
+            raise
+        return True
 
     # ------------------------------------------------------------------
     # synchronous path
@@ -216,57 +510,77 @@ class OptimizerService:
         try:
             return bind_sql(self.backend, sql)
         except OptimizeError:
-            self._failures += 1
+            with self._lock:
+                self._failures += 1
             raise
 
     def _optimize_query(self, query: Query) -> OptimizedPlan:
         start = time.perf_counter()
         signature = query.signature()
-        hit = self._memo.get(signature)
-        if hit is not None:
-            self._hits += 1
-            self._memo.move_to_end(signature)
-            self._record_latency((time.perf_counter() - start) * 1000.0)
-            return hit
-        self._record_batch(1)
+        with self._lock:
+            hit = self._memo.get(signature)
+            if hit is not None:
+                self._hits += 1
+                self._memo.move_to_end(signature)
+                self._record_latency((time.perf_counter() - start) * 1000.0)
+                return hit
+            self._record_batch(1)
+        # Two threads missing the same signature both optimize; the plans
+        # are identical (the optimizer is deterministic), so the double
+        # memoization below is a harmless overwrite.
         outcome = self._optimize_queries([query])[0]
-        self._record_latency((time.perf_counter() - start) * 1000.0)
+        with self._lock:
+            self._record_latency((time.perf_counter() - start) * 1000.0)
+            if isinstance(outcome, OptimizeError):
+                self._failures += 1
+            else:
+                self._misses += 1
+                self._memoize(signature, outcome)
         if isinstance(outcome, OptimizeError):
-            self._failures += 1
             raise outcome
-        self._misses += 1
-        self._memoize(signature, outcome)
         return outcome
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _ticket_id(ticket) -> int:
+        return ticket.ticket_id if isinstance(ticket, PlanTicket) else int(ticket)
+
     def _optimize_queries(self, queries: Sequence[Query]) -> List[object]:
         """Optimize queries, returning an OptimizedPlan or OptimizeError each.
 
-        Prefers the optimizer's batch mirror; if the batch raises, falls
-        back to one-at-a-time so a single bad query cannot fail its whole
-        cohort (plans are batch-size invariant, so the fallback returns the
-        same plans the batch would have).
+        Serialized on ``_optimize_lock``: the optimizer's episode runners
+        and caches are single-flight.  Prefers the optimizer's batch
+        mirror; if the batch raises, falls back to one-at-a-time so a
+        single bad query cannot fail its whole cohort (plans are
+        batch-size invariant, so the fallback returns the same plans the
+        batch would have).
         """
-        many = getattr(self.optimizer, "optimize_many", None)
-        if many is not None:
-            try:
-                return list(many(queries))
-            except OptimizeError:
-                pass
-        outcomes: List[object] = []
-        for query in queries:
-            try:
-                outcomes.append(self.optimizer.optimize(query))
-            except OptimizeError as exc:
-                outcomes.append(exc)
-        return outcomes
+        with self._optimize_lock:
+            many = getattr(self.optimizer, "optimize_many", None)
+            if many is not None:
+                try:
+                    return list(many(queries))
+                except OptimizeError:
+                    pass
+            outcomes: List[object] = []
+            for query in queries:
+                try:
+                    outcomes.append(self.optimizer.optimize(query))
+                except OptimizeError as exc:
+                    outcomes.append(exc)
+            return outcomes
 
     def _store_result(self, result: TicketResult) -> None:
+        # Caller holds _lock.
         while len(self._results) >= self.results_capacity:
             self._results.popitem(last=False)
+            self._result_evictions += 1
         self._results[result.ticket_id] = result
+        event = self._events.pop(result.ticket_id, None)
+        if event is not None:
+            event.set()
 
     def _record_batch(self, occupancy: int) -> None:
         self._batch_count += 1
@@ -274,7 +588,14 @@ class OptimizerService:
         self._batch_occupancy_max = max(self._batch_occupancy_max, occupancy)
 
     def _memoize(self, signature: str, plan: OptimizedPlan) -> None:
+        # Caller holds _lock.
         if self.memo_capacity <= 0:  # caching disabled
+            return
+        if signature in self._memo:
+            # Overwrite in place: evicting here would throw away an
+            # unrelated cached plan without the memo growing.
+            self._memo[signature] = plan
+            self._memo.move_to_end(signature)
             return
         while self._memo and len(self._memo) >= self.memo_capacity:
             self._memo.popitem(last=False)
@@ -290,24 +611,35 @@ class OptimizerService:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         """Serving telemetry: latencies, batching, memoization."""
-        latencies = np.asarray(self._latencies_ms, dtype=float)
-        served = self._hits + self._misses
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=float)
+            hits, misses, failures = self._hits, self._misses, self._failures
+            pending = len(self._pending)
+            memo_size = len(self._memo)
+            batch_count = self._batch_count
+            occupancy_sum = self._batch_occupancy_sum
+            occupancy_max = self._batch_occupancy_max
+            evictions = self._result_evictions
+            started = self._flusher_alive()
+        served = hits + misses
         return {
-            "requests": served + self._failures,
+            "requests": served + failures,
             "served": served,
-            "failures": self._failures,
-            "pending": len(self._pending),
-            "cache_hits": self._hits,
-            "cache_misses": self._misses,
-            "cache_hit_rate": self._hits / served if served else 0.0,
-            "memo_size": len(self._memo),
+            "failures": failures,
+            "pending": pending,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / served if served else 0.0,
+            "memo_size": memo_size,
+            "results_evicted": evictions,
+            "started": 1.0 if started else 0.0,
             "latency_p50_ms": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
             "latency_p95_ms": float(np.percentile(latencies, 95)) if latencies.size else 0.0,
             "latency_p99_ms": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
             "latency_mean_ms": float(latencies.mean()) if latencies.size else 0.0,
-            "batches": self._batch_count,
+            "batches": batch_count,
             "mean_batch_occupancy": (
-                self._batch_occupancy_sum / self._batch_count if self._batch_count else 0.0
+                occupancy_sum / batch_count if batch_count else 0.0
             ),
-            "max_batch_occupancy": self._batch_occupancy_max,
+            "max_batch_occupancy": occupancy_max,
         }

@@ -24,12 +24,14 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 from typing import Optional
 
 from repro.core.inference import FossOptimizer
 from repro.core.persistence import load_trainer, save_trainer
 from repro.core.trainer import FossConfig, FossTrainer
 from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
+from repro.engine.database import dataset_fingerprint
 from repro.workloads.base import Workload, build_workload_by_name
 
 _SESSION_MANIFEST = "session.json"
@@ -76,6 +78,14 @@ class FossSession:
         self._owns_backend = owns_backend
         self._trainer: Optional[FossTrainer] = None
         self._optimizer: Optional[FossOptimizer] = None
+        # Shared by every service built from this session: the optimizer's
+        # episode runners/caches are single-flight, and two services over
+        # the same optimizer must serialize on one lock, not one each.
+        self._optimize_lock = threading.Lock()
+        # Guards the lazy trainer/optimizer builds (reentrant: optimizer()
+        # builds via trainer()) so concurrent first callers cannot
+        # construct two trainers over one backend.
+        self._build_lock = threading.RLock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -118,20 +128,28 @@ class FossSession:
     def trainer(self) -> FossTrainer:
         """The underlying :class:`FossTrainer`, built on first use."""
         self._check_open()
-        if self._trainer is None:
-            self._trainer = FossTrainer(self.workload, self.config, database=self.backend)
-        return self._trainer
+        with self._build_lock:
+            if self._trainer is None:
+                self._trainer = FossTrainer(self.workload, self.config, database=self.backend)
+            return self._trainer
 
     def optimizer(self) -> FossOptimizer:
         """The deployable FOSS optimizer over this session's components."""
-        if self._optimizer is None:
-            self._optimizer = self.trainer().make_optimizer()
-        return self._optimizer
+        with self._build_lock:
+            if self._optimizer is None:
+                self._optimizer = self.trainer().make_optimizer()
+            return self._optimizer
 
     def service(self, **kwargs):
-        """A request/response :class:`~repro.api.service.OptimizerService`."""
+        """A request/response :class:`~repro.api.service.OptimizerService`.
+
+        Every service built here shares one optimize lock, so concurrent
+        use of several services over this session's (single-flight)
+        optimizer stays serialized.
+        """
         from repro.api.service import OptimizerService
 
+        kwargs.setdefault("optimize_lock", self._optimize_lock)
         return OptimizerService(self.optimizer(), self.backend, **kwargs)
 
     # ------------------------------------------------------------------
@@ -156,12 +174,17 @@ class FossSession:
             )
         save_trainer(self.trainer(), path)
         manifest = {
-            "format": 1,
+            "format": 2,
             "workload": {
                 "name": self.workload.spec.name,
                 "scale": self.workload.spec.scale,
                 "seed": self.workload.spec.seed,
             },
+            # A crc32-based content fingerprint of the dataset (never
+            # builtin hash(), which varies per process): load() rebuilds
+            # the dataset from the spec above, and a silently drifted
+            # datagen would hand the restored model a different database.
+            "dataset_fingerprint": dataset_fingerprint(self.workload.dataset),
             "config": dataclasses.asdict(self.config),
         }
         with open(os.path.join(path, _SESSION_MANIFEST), "w") as handle:
@@ -169,12 +192,42 @@ class FossSession:
 
     @classmethod
     def load(cls, path: str, backend: Optional[EngineBackend] = None) -> "FossSession":
-        """Rebuild a session saved by :meth:`save` and restore its weights."""
+        """Rebuild a session saved by :meth:`save` and restore its weights.
+
+        The dataset is rebuilt from the saved workload recipe and checked
+        against the manifest's fingerprint: if datagen drifted since the
+        save, the restored model would silently optimize a different
+        database, so the mismatch fails loudly here.  (Manifests from
+        before the fingerprint was recorded load without the check.)
+        """
         with open(os.path.join(path, _SESSION_MANIFEST)) as handle:
             manifest = json.load(handle)
         config = _config_from_jsonable(FossConfig, manifest["config"])
         spec = manifest["workload"]
         workload = build_workload_by_name(spec["name"], scale=spec["scale"], seed=spec["seed"])
+        expected = manifest.get("dataset_fingerprint")
+        if expected is not None:
+            actual = dataset_fingerprint(workload.dataset)
+            if actual != expected:
+                raise ValueError(
+                    f"dataset fingerprint mismatch loading {path!r}: the manifest "
+                    f"records {expected} but rebuilding workload "
+                    f"{spec['name']!r} (scale={spec['scale']}, seed={spec['seed']}) "
+                    f"produced {actual}; the data generator has drifted since this "
+                    f"session was saved, so the restored model would be optimizing "
+                    f"a different database"
+                )
+            if backend is not None:
+                # An injected backend is the dataset the restored model will
+                # actually plan against — it must match the manifest too.
+                injected = dataset_fingerprint(backend.dataset)
+                if injected != expected:
+                    raise ValueError(
+                        f"dataset fingerprint mismatch loading {path!r}: the "
+                        f"injected backend's dataset has fingerprint {injected} "
+                        f"but the manifest records {expected}; the restored model "
+                        f"would be optimizing a different database"
+                    )
         session = cls.open(workload=workload, config=config, backend=backend)
         load_trainer(session.trainer(), path)
         return session

@@ -27,6 +27,7 @@ count.  Trajectory parity across ``engine_workers`` follows (see
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import zlib
 from collections import OrderedDict
 from typing import (
@@ -170,6 +171,16 @@ class ShardedBackend:
     space.  Completed hint plans are additionally memoized parent-side
     (bounded LRU) because episode loops revisit the same one-step edits
     constantly.
+
+    The request path is thread-safe: each worker pipe is guarded by a lock
+    held across one full send→recv round trip, and a scatter acquires the
+    locks of every worker it touches (in worker order, so concurrent
+    scatters cannot deadlock) before sending anything.  Two tenants whose
+    requests route to disjoint workers proceed fully in parallel;
+    overlapping requests queue per worker instead of interleaving on the
+    pipe — the PR-2 error-drain contract ("a response left unread would
+    answer the next, unrelated request") now holds under concurrency.
+    Parent-side memos sit behind their own lock, never held across IPC.
     """
 
     def __init__(
@@ -193,6 +204,10 @@ class ShardedBackend:
         self._procs = []
         self._closed = False
         self._worker_executions = [0] * num_workers
+        # One lock per worker pipe, held across a full send→recv round
+        # trip; a multi-worker call takes its locks in worker order.
+        self._worker_locks = [threading.Lock() for _ in range(num_workers)]
+        self._memo_lock = threading.Lock()
         for _ in range(num_workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -249,52 +264,90 @@ class ShardedBackend:
             raise RuntimeError("ShardedBackend is closed")
 
     def _scatter(self, kind: str, items: Sequence, keys: Sequence[str]) -> List:
-        """Send each item to the worker owning its key; gather in order."""
+        """Send each item to the worker owning its key; gather in order.
+
+        The involved workers' locks are all acquired (in worker order)
+        before the first send, so a concurrent scatter from another thread
+        cannot interleave its requests onto a pipe mid-round-trip; fan-out
+        parallelism across the workers of *this* call is preserved because
+        every send happens before the first recv.
+        """
         self._check_open()
         groups: Dict[int, List[int]] = {}
         for index, key in enumerate(keys):
             groups.setdefault(self._route(key), []).append(index)
-        for worker, indices in groups.items():
-            if kind == "plan_many":
-                queries, options = items
-                payload = ([queries[i] for i in indices], options)
-            else:
-                payload = [items[i] for i in indices]
-            self._conns[worker].send((kind, payload))
-        out: List = [None] * len(keys)
-        first_error: Optional[Exception] = None
-        for worker, indices in groups.items():
-            results, error = self._recv(worker)
-            if error is not None:
-                first_error = first_error or error
-                continue
-            for index, result in zip(indices, results):
-                out[index] = result
+        workers = sorted(groups)
+        for worker in workers:
+            self._worker_locks[worker].acquire()
+        try:
+            for worker in workers:
+                indices = groups[worker]
+                if kind == "plan_many":
+                    queries, options = items
+                    payload = ([queries[i] for i in indices], options)
+                else:
+                    payload = [items[i] for i in indices]
+                self._conns[worker].send((kind, payload))
+            out: List = [None] * len(keys)
+            first_error: Optional[Exception] = None
+            for worker in workers:
+                results, error = self._recv(worker)
+                if error is not None:
+                    first_error = first_error or error
+                    continue
+                for index, result in zip(groups[worker], results):
+                    out[index] = result
+        finally:
+            for worker in workers:
+                self._worker_locks[worker].release()
         if first_error is not None:
             raise first_error
         return out
 
     def _broadcast(self, kind: str) -> None:
-        for worker in range(self.num_workers):
-            self._conns[worker].send((kind, None))
-        first_error: Optional[Exception] = None
-        for worker in range(self.num_workers):
-            _result, error = self._recv(worker)
-            first_error = first_error or error
+        self._check_open()
+        for lock in self._worker_locks:
+            lock.acquire()
+        try:
+            for worker in range(self.num_workers):
+                self._conns[worker].send((kind, None))
+            first_error: Optional[Exception] = None
+            for worker in range(self.num_workers):
+                _result, error = self._recv(worker)
+                first_error = first_error or error
+        finally:
+            for lock in self._worker_locks:
+                lock.release()
         if first_error is not None:
             raise first_error
 
     def close(self) -> None:
-        """Shut the pool down; idempotent."""
+        """Shut the pool down; idempotent.
+
+        Worker locks are taken (with a timeout, so a wedged in-flight call
+        cannot hang shutdown forever) before the goodbye message, so close
+        does not interleave with a scatter another thread is mid-way
+        through.  The timeout is generous — a healthy in-flight batch of
+        slow executions can legitimately take many seconds — because
+        shooting down a live round trip misreports it as a dead worker.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for worker, conn in enumerate(self._conns):
+            acquired = self._worker_locks[worker].acquire(timeout=30.0)
             try:
-                conn.send(None)
-                conn.close()
+                if acquired:
+                    conn.send(None)
+                    conn.close()
+                # else: a round trip is still in flight after the grace
+                # period; sending/closing now would corrupt it mid-recv.
+                # The join/terminate below handles the worker instead.
             except (BrokenPipeError, OSError):
                 pass
+            finally:
+                if acquired:
+                    self._worker_locks[worker].release()
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - stuck-worker path
@@ -358,24 +411,34 @@ class ShardedBackend:
         resolved: Dict[str, PlanningResult] = {}
         miss_keys: List[str] = []
         miss_queries: List[Query] = []
-        for key, query in zip(keys, queries):
-            if key in resolved:
-                continue
-            hit = self._plan_memo.get(key)
-            if hit is not None:
-                self._plan_memo.move_to_end(key)
-                resolved[key] = hit
-            else:
-                resolved[key] = None  # placeholder, filled below
-                miss_keys.append(key)
-                miss_queries.append(query)
+        with self._memo_lock:
+            for key, query in zip(keys, queries):
+                if key in resolved:
+                    continue
+                hit = self._plan_memo.get(key)
+                if hit is not None:
+                    self._plan_memo.move_to_end(key)
+                    resolved[key] = hit
+                else:
+                    resolved[key] = None  # placeholder, filled below
+                    miss_keys.append(key)
+                    miss_queries.append(query)
         if miss_queries:
+            # IPC happens outside the memo lock; two threads missing the
+            # same key both scatter, but worker results are deterministic
+            # so the duplicate insert is identical.
             results = self._scatter("plan_many", (miss_queries, options), miss_keys)
-            for key, result in zip(miss_keys, results):
-                resolved[key] = result
-                while len(self._plan_memo) >= self.plan_memo_capacity:
-                    self._plan_memo.popitem(last=False)
-                self._plan_memo[key] = result
+            with self._memo_lock:
+                for key, result in zip(miss_keys, results):
+                    resolved[key] = result
+                    if key in self._plan_memo:
+                        # A concurrent miss already inserted the identical
+                        # result; just bump its recency.
+                        self._plan_memo.move_to_end(key)
+                    else:
+                        while len(self._plan_memo) >= self.plan_memo_capacity:
+                            self._plan_memo.popitem(last=False)
+                    self._plan_memo[key] = result
         return [resolved[key] for key in keys]
 
     def plan_with_hints(
@@ -398,28 +461,33 @@ class ShardedBackend:
         resolved: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult] = {}
         miss_keys = []
         miss_requests = []
-        for memo_key, request in zip(memo_keys, normalized):
-            if memo_key in resolved:
-                continue
-            hit = self._hint_memo.get(memo_key)
-            if hit is not None:
-                self._hint_memo.move_to_end(memo_key)
-                resolved[memo_key] = hit
-            else:
-                resolved[memo_key] = None  # placeholder, filled below
-                miss_keys.append(memo_key)
-                miss_requests.append(request)
+        with self._memo_lock:
+            for memo_key, request in zip(memo_keys, normalized):
+                if memo_key in resolved:
+                    continue
+                hit = self._hint_memo.get(memo_key)
+                if hit is not None:
+                    self._hint_memo.move_to_end(memo_key)
+                    resolved[memo_key] = hit
+                else:
+                    resolved[memo_key] = None  # placeholder, filled below
+                    miss_keys.append(memo_key)
+                    miss_requests.append(request)
         if miss_requests:
             results = self._scatter(
                 "hint_many",
                 miss_requests,
                 ["|".join((key[0],) + key[1] + key[2]) for key in miss_keys],
             )
-            for memo_key, result in zip(miss_keys, results):
-                resolved[memo_key] = result
-                while len(self._hint_memo) >= self.hint_memo_capacity:
-                    self._hint_memo.popitem(last=False)
-                self._hint_memo[memo_key] = result
+            with self._memo_lock:
+                for memo_key, result in zip(miss_keys, results):
+                    resolved[memo_key] = result
+                    if memo_key in self._hint_memo:
+                        self._hint_memo.move_to_end(memo_key)
+                    else:
+                        while len(self._hint_memo) >= self.hint_memo_capacity:
+                            self._hint_memo.popitem(last=False)
+                    self._hint_memo[memo_key] = result
         return [resolved[memo_key] for memo_key in memo_keys]
 
     # ------------------------------------------------------------------
@@ -455,17 +523,20 @@ class ShardedBackend:
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         self.local.clear_caches()
-        self._plan_memo.clear()
-        self._hint_memo.clear()
+        with self._memo_lock:
+            self._plan_memo.clear()
+            self._hint_memo.clear()
         self._broadcast("clear_caches")
 
     def stats(self) -> Dict[str, float]:
+        with self._memo_lock:
+            plan_memo, hint_memo = len(self._plan_memo), len(self._hint_memo)
         return {
             "backend": "sharded",
             "workers": self.num_workers,
             "executions": self.executions,
-            "plan_memo": len(self._plan_memo),
-            "hint_memo": len(self._hint_memo),
+            "plan_memo": plan_memo,
+            "hint_memo": hint_memo,
         }
 
 

@@ -13,7 +13,9 @@ paper's training loop avoids re-executing known plans.
 
 from __future__ import annotations
 
+import threading
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -47,6 +49,37 @@ class Dataset:
     name: str
     schema: Schema
     storage: StorageDatabase
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """A deterministic content fingerprint of a dataset's stored tables.
+
+    CRC32 chained over table names, column names, raw column bytes and
+    string dictionaries, in sorted order — never builtin ``hash()``, which
+    varies with ``PYTHONHASHSEED``.  Two datasets built from the same
+    :class:`~repro.workloads.base.WorkloadSpec` by the same code get the
+    same fingerprint; datagen drift changes it, which is what
+    ``FossSession.load`` checks against the saved manifest.
+    """
+    def chain(crc: int, field: bytes) -> int:
+        # Length-prefix every field: bare concatenation would let distinct
+        # datasets collide (e.g. dictionaries ["ab","c"] vs ["a","bc"]).
+        return zlib.crc32(field, zlib.crc32(f"{len(field)}:".encode("ascii"), crc))
+
+    crc = 0
+    storage = dataset.storage
+    for table_name in sorted(storage.table_names):
+        table = storage.table(table_name)
+        crc = chain(crc, table_name.encode("utf-8"))
+        for column_name in sorted(table.column_names):
+            data = table.column_data(column_name)
+            crc = chain(crc, column_name.encode("utf-8"))
+            crc = chain(crc, str(data.values.dtype).encode("utf-8"))
+            crc = chain(crc, np.ascontiguousarray(data.values).tobytes())
+            if data.dictionary is not None:
+                for entry in data.dictionary:
+                    crc = chain(crc, str(entry).encode("utf-8"))
+    return f"crc32:{crc & 0xFFFFFFFF:08x}:rows={storage.total_rows()}"
 
 
 @dataclass
@@ -102,12 +135,25 @@ class Database:
         self.hint_cache_capacity = 200_000
         self._latency_cache: Dict[Tuple[str, str], _CachedLatency] = {}
         self.executions = 0  # real-environment execution counter (cache misses)
+        # Guards the plan/hint/latency caches against concurrent serving
+        # threads (OptimizerService flushers, multi-tenant sessions over
+        # one shared engine).  Heavy compute — enumeration, hint
+        # completion, execution — runs *outside* the lock: it is stateless
+        # over the immutable dataset/statistics, so a concurrent duplicate
+        # recomputes an identical result, and cache reads/writes are the
+        # only critical sections.  Reentrant because batch mirrors call
+        # their singleton forms.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # SQL entry point
     # ------------------------------------------------------------------
     def sql(self, text: str, name: str = "") -> Query:
-        """Parse + bind SQL text against this database."""
+        """Parse + bind SQL text against this database.
+
+        Lock-free: parse/bind is a pure function over the immutable schema
+        and storage, and serving threads bind concurrently with planning.
+        """
         return bind_query(parse_query(text), self.schema, self.storage, name=name)
 
     # ------------------------------------------------------------------
@@ -120,15 +166,20 @@ class Database:
         deterministic); the cached wall time is the first run's.
         """
         key = query.signature() if options is None else f"{query.signature()}@{options.signature()}"
-        cached = self._plan_cache.get(key)
+        with self._lock:
+            cached = self._plan_cache.get(key)
         if cached is not None:
             return cached
+        # Enumeration runs outside the lock (the DP is stateless over the
+        # immutable statistics), so concurrent binds/plans are not stalled
+        # behind it; two threads missing the same key compute identical
+        # results and the first insert wins.
         start = time.perf_counter()
         plan = self.enumerator.optimize(query, options)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         result = PlanningResult(plan=plan, planning_ms=elapsed_ms)
-        self._plan_cache[key] = result
-        return result
+        with self._lock:
+            return self._plan_cache.setdefault(key, result)
 
     def plan_with_hints(
         self,
@@ -144,18 +195,27 @@ class Database:
         run's.
         """
         key = (query.signature(), tuple(join_order), tuple(join_methods))
-        cached = self._hint_cache.get(key)
-        if cached is not None:
-            self._hint_cache.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._hint_cache.get(key)
+            if cached is not None:
+                self._hint_cache.move_to_end(key)
+                return cached
+        # Completion runs outside the lock (stateless like the enumerator);
+        # a concurrent duplicate computes the identical plan and the first
+        # insert wins.
         start = time.perf_counter()
         plan = self.hint_builder.build(query, join_order, join_methods)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         result = PlanningResult(plan=plan, planning_ms=elapsed_ms)
-        while len(self._hint_cache) >= self.hint_cache_capacity:
-            self._hint_cache.popitem(last=False)
-        self._hint_cache[key] = result
-        return result
+        with self._lock:
+            existing = self._hint_cache.get(key)
+            if existing is not None:
+                self._hint_cache.move_to_end(key)
+                return existing
+            while len(self._hint_cache) >= self.hint_cache_capacity:
+                self._hint_cache.popitem(last=False)
+            self._hint_cache[key] = result
+            return result
 
     def plan_many(
         self,
@@ -191,15 +251,21 @@ class Database:
         above ``timeout_ms`` is reported as a timeout.
         """
         key = (query.signature(), plan_signature(plan))
-        cached = self._latency_cache.get(key) if use_cache else None
         internal_cap = min(HARD_CAP_MS, timeout_ms) if timeout_ms is not None else HARD_CAP_MS
 
-        # A cached entry is reusable if it finished (not capped) or if it was
-        # capped at or above the cap we would use now.
-        reusable = cached is not None and (not cached.capped or cached.cap_ms >= internal_cap)
+        with self._lock:
+            cached = self._latency_cache.get(key) if use_cache else None
+            # A cached entry is reusable if it finished (not capped) or if it
+            # was capped at or above the cap we would use now.
+            reusable = cached is not None and (not cached.capped or cached.cap_ms >= internal_cap)
         if not reusable:
+            # Execution runs outside the lock: it is the heaviest entry
+            # point and touches only per-call state (the lazy index build
+            # in storage is idempotent and deterministic), so holding the
+            # lock here would stall every concurrent bind/plan for no
+            # consistency gain.  Two threads missing the same key both
+            # execute and cache identical results.
             raw = self.executor.execute(query, plan, timeout_ms=internal_cap)
-            self.executions += 1
             cached = _CachedLatency(
                 latency_ms=raw.latency_ms if not raw.timed_out else internal_cap,
                 output_rows=raw.output_rows,
@@ -207,8 +273,10 @@ class Database:
                 cap_ms=internal_cap,
                 aggregate_values=raw.aggregate_values,
             )
-            if use_cache:
-                self._latency_cache[key] = cached
+            with self._lock:
+                self.executions += 1
+                if use_cache:
+                    self._latency_cache[key] = cached
 
         if timeout_ms is not None and cached.latency_ms >= timeout_ms:
             return ExecutionResult(
@@ -244,14 +312,16 @@ class Database:
         return explain(plan)
 
     def clear_caches(self) -> None:
-        self._plan_cache.clear()
-        self._hint_cache.clear()
-        self._latency_cache.clear()
+        with self._lock:
+            self._plan_cache.clear()
+            self._hint_cache.clear()
+            self._latency_cache.clear()
 
     def clear_plan_cache(self) -> None:
         """Drop cached plans only (latencies stay; used for timing studies)."""
-        self._plan_cache.clear()
-        self._hint_cache.clear()
+        with self._lock:
+            self._plan_cache.clear()
+            self._hint_cache.clear()
 
     def stats(self) -> Dict[str, float]:
         """Engine counters: executions are real-environment cache misses."""
