@@ -2,10 +2,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="foss-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'FOSS: A Self-Learned Doctor for Query Optimizer' "
-        "(ICDE 2024) with a SQL-text-in / plan-out serving API (repro.api)"
+        "(ICDE 2024) with a SQL-text-in / plan-out serving API (repro.api) "
+        "and a socket-served remote engine (repro.engine.remote)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -14,4 +15,9 @@ setup(
         "numpy",
         "networkx",
     ],
+    entry_points={
+        "console_scripts": [
+            "repro-engine = repro.engine.remote.server:main",
+        ],
+    },
 )

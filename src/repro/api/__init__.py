@@ -17,7 +17,9 @@ async backend:
   on a per-ticket event;
 * :class:`ServiceGroup` — multi-tenant serving: N named tenants, each a
   ``FossSession``-backed service with its own memo/stats, all routing
-  through one shared (thread-safe) engine pool;
+  through one shared (thread-safe) engine pool — in-process, sharded, or
+  a :class:`~repro.engine.remote.client.RemoteBackend` talking to a
+  ``repro-engine`` server (``FossConfig.engine_url``);
 * :func:`create_optimizer` — named construction (``"foss"``,
   ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``, ``"hybridqo"``, plus
   anything registered via :func:`register_optimizer`);

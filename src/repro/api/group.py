@@ -7,7 +7,9 @@ the pieces: each tenant gets its own :class:`~repro.api.session.FossSession`
 with its own memo and stats), while every tenant's planning and execution
 RPCs route through **one** shared :class:`~repro.engine.backend.EngineBackend`
 (a :class:`~repro.engine.backend.ShardedBackend` worker pool for
-``engine_workers > 1``):
+``engine_workers > 1``, or one shared
+:class:`~repro.engine.remote.client.RemoteBackend` when ``engine_url``
+points at a ``repro-engine`` server):
 
     from repro.api import ServiceGroup
 
@@ -34,7 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.api.service import OptimizerService, PlanTicket, TicketResult
 from repro.api.session import FossSession
 from repro.core.trainer import FossConfig
-from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
+from repro.engine.backend import EngineBackend, make_backend
 from repro.workloads.base import Workload, build_workload_by_name
 
 
@@ -74,16 +76,20 @@ class ServiceGroup:
         seed: int = 1,
         config: Optional[FossConfig] = None,
         engine_workers: Optional[int] = None,
+        engine_url: Optional[str] = None,
         backend: Optional[EngineBackend] = None,
     ) -> "ServiceGroup":
         """Stand up one workload + engine pool and a session per tenant.
 
         ``tenants`` is either a sequence of names (every tenant shares
         ``config``) or a name → :class:`FossConfig` mapping for per-tenant
-        configs.  The shared backend is built once — sharded when
-        ``engine_workers`` (default: the config's ``engine_workers``) is
-        above 1 — and injected into every session, which therefore does
-        not own (or close) it; the group does.
+        configs.  The shared backend is built once — remote when
+        ``engine_url`` (default: the config's ``engine_url``) names a
+        ``repro-engine`` server, else sharded when ``engine_workers``
+        (default: the config's ``engine_workers``) is above 1 — and
+        injected into every session, which therefore does not own (or
+        close) it; the group does.  All tenants share the one remote
+        connection pool the same way they share a sharded worker pool.
         """
         base_config = config if config is not None else FossConfig()
         if isinstance(tenants, Mapping):
@@ -110,7 +116,8 @@ class ServiceGroup:
         owns_backend = backend is None
         if backend is None:
             workers = engine_workers if engine_workers is not None else base_config.engine_workers
-            backend = make_backend(workload, workers)
+            url = engine_url if engine_url is not None else base_config.engine_url
+            backend = make_backend(workload, workers, url)
         sessions: "OrderedDict[str, FossSession]" = OrderedDict()
         for name, tenant_config in tenant_configs.items():
             sessions[name] = FossSession.open(
@@ -225,8 +232,10 @@ class ServiceGroup:
         finally:
             for session in self._sessions.values():
                 session.close()  # sessions do not own the injected backend
-            if self._owns_backend and isinstance(self.backend, ShardedBackend):
-                self.backend.close()
+            if self._owns_backend:
+                close = getattr(self.backend, "close", None)
+                if close is not None:
+                    close()
 
     def _check_open(self) -> None:
         if self._closed:

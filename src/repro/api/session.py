@@ -30,7 +30,7 @@ from typing import Optional
 from repro.core.inference import FossOptimizer
 from repro.core.persistence import load_trainer, save_trainer
 from repro.core.trainer import FossConfig, FossTrainer
-from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
+from repro.engine.backend import EngineBackend, make_backend
 from repro.engine.database import dataset_fingerprint
 from repro.workloads.base import Workload, build_workload_by_name
 
@@ -106,8 +106,13 @@ class FossSession:
         ``workload`` is either a benchmark name (``"job"`` / ``"tpcds"`` /
         ``"stack"``, built at ``scale``/``seed``) or a prebuilt
         :class:`~repro.workloads.base.Workload`.  The engine backend is
-        selected by ``config.engine_workers`` (local in-process for 1,
-        sharded worker pool otherwise) unless one is injected explicitly.
+        selected by the config unless one is injected explicitly: a
+        non-empty ``config.engine_url`` connects a
+        :class:`~repro.engine.remote.client.RemoteBackend` to a
+        ``repro-engine`` server at that address (fingerprint-checked
+        against the locally built dataset), otherwise
+        ``config.engine_workers`` picks local in-process (1) or a sharded
+        worker pool (>1).
         """
         if config is None:
             config = FossConfig()
@@ -119,7 +124,7 @@ class FossSession:
             )
         owns_backend = backend is None
         if backend is None:
-            backend = make_backend(workload, config.engine_workers)
+            backend = make_backend(workload, config.engine_workers, config.engine_url)
         return cls(workload, config, backend, owns_backend=owns_backend)
 
     # ------------------------------------------------------------------
@@ -187,6 +192,16 @@ class FossSession:
             "dataset_fingerprint": dataset_fingerprint(self.workload.dataset),
             "config": dataclasses.asdict(self.config),
         }
+        remote_fingerprint = getattr(self.backend, "remote_fingerprint", None)
+        if remote_fingerprint is not None:
+            # This session plans against a remote engine: record *its*
+            # dataset fingerprint too (the connect-time handshake proved it
+            # equal to the local one), so load() can catch client/server
+            # datagen drift against the engine actually serving the plans.
+            manifest["remote"] = {
+                "engine_url": getattr(self.backend, "url", ""),
+                "dataset_fingerprint": remote_fingerprint,
+            }
         with open(os.path.join(path, _SESSION_MANIFEST), "w") as handle:
             json.dump(manifest, handle, indent=2)
 
@@ -228,19 +243,34 @@ class FossSession:
                         f"but the manifest records {expected}; the restored model "
                         f"would be optimizing a different database"
                     )
+                # For a remote backend the local mirror above is only half
+                # the story: the *server's* dataset is the one executing
+                # plans, so its handshake fingerprint must match as well.
+                remote_fp = getattr(backend, "remote_fingerprint", None)
+                if remote_fp is not None and remote_fp != expected:
+                    raise ValueError(
+                        f"dataset fingerprint mismatch loading {path!r}: the "
+                        f"remote engine at "
+                        f"{getattr(backend, 'url', '<unknown>')} serves "
+                        f"fingerprint {remote_fp} but the manifest records "
+                        f"{expected}; the server's data generator has drifted "
+                        f"from the one this session was saved against"
+                    )
         session = cls.open(workload=workload, config=config, backend=backend)
         load_trainer(session.trainer(), path)
         return session
 
     def close(self) -> None:
-        """Release the engine backend (shuts down sharded worker pools)."""
+        """Release the engine backend (worker pools, remote connections)."""
         if self._closed:
             return
         self._closed = True
         if self._trainer is not None:
             self._trainer.close()
-        if self._owns_backend and isinstance(self.backend, ShardedBackend):
-            self.backend.close()
+        if self._owns_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
 
     def _check_open(self) -> None:
         if self._closed:

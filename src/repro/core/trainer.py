@@ -34,7 +34,7 @@ from repro.core.encoding import PlanEncoder
 from repro.core.planner import Episode, Planner, PlannerConfig
 from repro.core.reward import AdvantageFunction, RewardConfig
 from repro.core.simenv import DYNAMIC_TIMEOUT_FACTOR, RealEnvironment, SimulatedEnvironment
-from repro.engine.backend import EngineBackend, ShardedBackend, make_backend
+from repro.engine.backend import EngineBackend, make_backend
 from repro.rl.ppo import PPOConfig
 from repro.sql.ast import Query
 from repro.workloads.base import Workload, WorkloadQuery
@@ -52,6 +52,7 @@ class FossConfig:
     validation_budget: int = 200      # promising plans executed per iteration
     episode_batch_size: int = 32      # lockstep cohort size (1 = sequential)
     engine_workers: int = 1           # expert-engine processes (1 = in-process LocalBackend)
+    engine_url: str = ""              # "tcp://host:port" of a repro-engine server ("" = in-process; wins over engine_workers)
     num_agents: int = 1
     use_simulated: bool = True
     use_penalty: bool = True
@@ -65,6 +66,10 @@ class FossConfig:
             raise ValueError("episode_batch_size must be >= 1")
         if self.engine_workers < 1:
             raise ValueError("engine_workers must be >= 1")
+        if self.engine_url and not self.engine_url.startswith("tcp://"):
+            raise ValueError(
+                f"engine_url must look like tcp://host:port, got {self.engine_url!r}"
+            )
         # Derive a private planner config instead of mutating the caller's
         # object: a PlannerConfig shared across FossConfigs must not alias.
         planner = replace(self.planner, max_steps=self.max_steps)
@@ -97,13 +102,18 @@ class FossTrainer:
     ) -> None:
         self.workload = workload
         self.config = config if config is not None else FossConfig()
-        # engine_workers selects the backend: 1 = the workload's in-process
-        # engine, >1 = a sharded worker pool built from the workload's spec.
-        # An injected backend (e.g. from a FossSession that owns its
-        # lifecycle) is used as-is and never shut down by this trainer.
+        # engine_url/engine_workers select the backend: a remote engine
+        # server wins, then 1 = the workload's in-process engine, >1 = a
+        # sharded worker pool built from the workload's spec.  An injected
+        # backend (e.g. from a FossSession that owns its lifecycle) is used
+        # as-is and never shut down by this trainer.
         self._owns_backend = database is None
         self.database: EngineBackend = (
-            database if database is not None else make_backend(workload, self.config.engine_workers)
+            database
+            if database is not None
+            else make_backend(
+                workload, self.config.engine_workers, self.config.engine_url
+            )
         )
         self.rng = np.random.default_rng(self.config.seed)
 
@@ -298,9 +308,15 @@ class FossTrainer:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the engine backend (shuts down sharded worker pools)."""
-        if self._owns_backend and isinstance(self.database, ShardedBackend):
-            self.database.close()
+        """Release an owned engine backend (sharded pools, remote clients).
+
+        The local in-process backend has no ``close`` and needs none; an
+        injected backend belongs to whoever injected it.
+        """
+        if self._owns_backend:
+            close = getattr(self.database, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "FossTrainer":
         return self

@@ -3,7 +3,10 @@
 Everything above the engine (planner, environments, trainer, baselines,
 experiment harness) depends on :class:`EngineBackend` — roughly
 ``sql / plan / complete-hint / execute / stats`` plus their batch mirrors —
-never on a concrete engine class.  Two implementations ship:
+never on a concrete engine class.  Three implementations ship (the third,
+:class:`~repro.engine.remote.client.RemoteBackend`, lives in
+:mod:`repro.engine.remote` and talks to a ``repro-engine`` server over a
+TCP socket):
 
 * :class:`LocalBackend` — the in-process expert engine (identical to
   :class:`~repro.engine.database.Database`, which itself satisfies the
@@ -114,6 +117,71 @@ class LocalBackend(Database):
         return cls(spec.build_dataset())
 
 
+class PlanningMemo:
+    """A thread-safe bounded-LRU memo for deterministic planning RPCs.
+
+    Both out-of-process backends (:class:`ShardedBackend` over pipes,
+    :class:`~repro.engine.remote.client.RemoteBackend` over sockets) keep
+    caller-side memos for the two planning calls: episode loops revisit the
+    same queries and one-step hint edits constantly, and a memo hit skips
+    the IPC/RPC round trip entirely.  The lock is never held across IPC —
+    two threads missing the same key both fetch, and because engine results
+    are pure functions of the dataset the duplicate insert is identical.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._memo: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memo)
+
+    def lookup(self, keys: Sequence, requests: Sequence):
+        """Split a batch into hits and (deduplicated) misses.
+
+        Returns ``(resolved, miss_keys, miss_requests)``: ``resolved`` maps
+        every distinct key to its cached result (misses hold a ``None``
+        placeholder the caller fills after fetching).
+        """
+        resolved: Dict = {}
+        miss_keys: List = []
+        miss_requests: List = []
+        with self._lock:
+            for key, request in zip(keys, requests):
+                if key in resolved:
+                    continue
+                hit = self._memo.get(key)
+                if hit is not None:
+                    self._memo.move_to_end(key)
+                    resolved[key] = hit
+                else:
+                    resolved[key] = None  # placeholder, filled by the caller
+                    miss_keys.append(key)
+                    miss_requests.append(request)
+        return resolved, miss_keys, miss_requests
+
+    def fill(self, keys: Sequence, results: Sequence) -> None:
+        """Insert fetched results, evicting LRU entries at the cap."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            for key, result in zip(keys, results):
+                if key in self._memo:
+                    # A concurrent miss already inserted the identical
+                    # result; just bump its recency.
+                    self._memo.move_to_end(key)
+                else:
+                    while len(self._memo) >= self.capacity:
+                        self._memo.popitem(last=False)
+                self._memo[key] = result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memo.clear()
+
+
 # ----------------------------------------------------------------------
 # sharded backend
 # ----------------------------------------------------------------------
@@ -207,7 +275,6 @@ class ShardedBackend:
         # One lock per worker pipe, held across a full send→recv round
         # trip; a multi-worker call takes its locks in worker order.
         self._worker_locks = [threading.Lock() for _ in range(num_workers)]
-        self._memo_lock = threading.Lock()
         for _ in range(num_workers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -228,13 +295,12 @@ class ShardedBackend:
         if startup_error is not None:
             self.close()
             raise startup_error
-        # Parent-side memos for the two planning RPCs: episode loops
-        # revisit the same queries and one-step edits constantly, and a
-        # memo hit skips the IPC round trip entirely.
-        self._plan_memo: "OrderedDict[str, PlanningResult]" = OrderedDict()
-        self._hint_memo: "OrderedDict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult]" = OrderedDict()
-        self.plan_memo_capacity = self.local.hint_cache_capacity
-        self.hint_memo_capacity = self.local.hint_cache_capacity
+        # Parent-side memos for the two planning RPCs (see PlanningMemo).
+        self._plan_memo = PlanningMemo(self.local.hint_cache_capacity)
+        self._hint_memo = PlanningMemo(self.local.hint_cache_capacity)
+        # How long close() waits for an in-flight round trip before
+        # reclaiming the worker by force (tests shrink this).
+        self.close_grace_s = 30.0
 
     # ------------------------------------------------------------------
     # pool plumbing
@@ -280,6 +346,13 @@ class ShardedBackend:
         for worker in workers:
             self._worker_locks[worker].acquire()
         try:
+            # Track which workers actually received a request: if a send
+            # fails partway (e.g. a worker died and its pipe broke), the
+            # earlier workers still owe a response, and leaving it unread
+            # would answer the next, unrelated request — so the error path
+            # drains every worker that was sent to before raising.
+            sent: List[int] = []
+            first_error: Optional[Exception] = None
             for worker in workers:
                 indices = groups[worker]
                 if kind == "plan_many":
@@ -287,10 +360,16 @@ class ShardedBackend:
                     payload = ([queries[i] for i in indices], options)
                 else:
                     payload = [items[i] for i in indices]
-                self._conns[worker].send((kind, payload))
+                try:
+                    self._conns[worker].send((kind, payload))
+                except (BrokenPipeError, OSError, ValueError) as exc:
+                    first_error = RuntimeError(
+                        f"engine worker {worker} unreachable: {exc!r}"
+                    )
+                    break
+                sent.append(worker)
             out: List = [None] * len(keys)
-            first_error: Optional[Exception] = None
-            for worker in workers:
+            for worker in sent:
                 results, error = self._recv(worker)
                 if error is not None:
                     first_error = first_error or error
@@ -322,37 +401,52 @@ class ShardedBackend:
             raise first_error
 
     def close(self) -> None:
-        """Shut the pool down; idempotent.
+        """Shut the pool down; idempotent, and safe under wedged clients.
 
-        Worker locks are taken (with a timeout, so a wedged in-flight call
-        cannot hang shutdown forever) before the goodbye message, so close
-        does not interleave with a scatter another thread is mid-way
-        through.  The timeout is generous — a healthy in-flight batch of
-        slow executions can legitimately take many seconds — because
-        shooting down a live round trip misreports it as a dead worker.
+        Worker locks are taken (with ``close_grace_s``, so a wedged
+        in-flight call — e.g. a serving thread whose remote client
+        disconnected mid-request and never returned — cannot hang shutdown
+        forever) before the goodbye message, so close does not interleave
+        with a scatter another thread is mid-way through.  The default
+        grace is generous — a healthy in-flight batch of slow executions
+        can legitimately take many seconds — because shooting down a live
+        round trip misreports it as a dead worker.  A worker whose lock
+        never frees is reclaimed by force: its process is terminated and
+        its parent pipe closed, so an abandoned round trip cannot leak a
+        process or a file descriptor.
         """
         if self._closed:
             return
         self._closed = True
+        wedged = False
         for worker, conn in enumerate(self._conns):
-            acquired = self._worker_locks[worker].acquire(timeout=30.0)
+            acquired = self._worker_locks[worker].acquire(timeout=self.close_grace_s)
             try:
                 if acquired:
                     conn.send(None)
-                    conn.close()
                 # else: a round trip is still in flight after the grace
-                # period; sending/closing now would corrupt it mid-recv.
-                # The join/terminate below handles the worker instead.
+                # period; sending now would corrupt it mid-recv.  The
+                # terminate below reclaims the worker instead (EOF on the
+                # worker pipe also unblocks the abandoned _recv).
             except (BrokenPipeError, OSError):
                 pass
             finally:
                 if acquired:
                     self._worker_locks[worker].release()
+                else:
+                    wedged = True
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck-worker path
+            # A wedged pool cannot count on the goodbye being read — skip
+            # straight to terminate instead of burning the join timeout.
+            proc.join(timeout=0 if wedged else 5)
+            if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
 
     def __enter__(self) -> "ShardedBackend":
         return self
@@ -408,37 +502,15 @@ class ShardedBackend:
         self._check_open()
         suffix = "" if options is None else f"@{options.signature()}"
         keys = [query.signature() + suffix for query in queries]
-        resolved: Dict[str, PlanningResult] = {}
-        miss_keys: List[str] = []
-        miss_queries: List[Query] = []
-        with self._memo_lock:
-            for key, query in zip(keys, queries):
-                if key in resolved:
-                    continue
-                hit = self._plan_memo.get(key)
-                if hit is not None:
-                    self._plan_memo.move_to_end(key)
-                    resolved[key] = hit
-                else:
-                    resolved[key] = None  # placeholder, filled below
-                    miss_keys.append(key)
-                    miss_queries.append(query)
+        resolved, miss_keys, miss_queries = self._plan_memo.lookup(keys, queries)
         if miss_queries:
             # IPC happens outside the memo lock; two threads missing the
             # same key both scatter, but worker results are deterministic
             # so the duplicate insert is identical.
             results = self._scatter("plan_many", (miss_queries, options), miss_keys)
-            with self._memo_lock:
-                for key, result in zip(miss_keys, results):
-                    resolved[key] = result
-                    if key in self._plan_memo:
-                        # A concurrent miss already inserted the identical
-                        # result; just bump its recency.
-                        self._plan_memo.move_to_end(key)
-                    else:
-                        while len(self._plan_memo) >= self.plan_memo_capacity:
-                            self._plan_memo.popitem(last=False)
-                    self._plan_memo[key] = result
+            self._plan_memo.fill(miss_keys, results)
+            for key, result in zip(miss_keys, results):
+                resolved[key] = result
         return [resolved[key] for key in keys]
 
     def plan_with_hints(
@@ -458,36 +530,16 @@ class ShardedBackend:
             (query.signature(), join_order, join_methods)
             for query, join_order, join_methods in normalized
         ]
-        resolved: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]], PlanningResult] = {}
-        miss_keys = []
-        miss_requests = []
-        with self._memo_lock:
-            for memo_key, request in zip(memo_keys, normalized):
-                if memo_key in resolved:
-                    continue
-                hit = self._hint_memo.get(memo_key)
-                if hit is not None:
-                    self._hint_memo.move_to_end(memo_key)
-                    resolved[memo_key] = hit
-                else:
-                    resolved[memo_key] = None  # placeholder, filled below
-                    miss_keys.append(memo_key)
-                    miss_requests.append(request)
+        resolved, miss_keys, miss_requests = self._hint_memo.lookup(memo_keys, normalized)
         if miss_requests:
             results = self._scatter(
                 "hint_many",
                 miss_requests,
                 ["|".join((key[0],) + key[1] + key[2]) for key in miss_keys],
             )
-            with self._memo_lock:
-                for memo_key, result in zip(miss_keys, results):
-                    resolved[memo_key] = result
-                    if memo_key in self._hint_memo:
-                        self._hint_memo.move_to_end(memo_key)
-                    else:
-                        while len(self._hint_memo) >= self.hint_memo_capacity:
-                            self._hint_memo.popitem(last=False)
-                    self._hint_memo[memo_key] = result
+            self._hint_memo.fill(miss_keys, results)
+            for memo_key, result in zip(miss_keys, results):
+                resolved[memo_key] = result
         return [resolved[memo_key] for memo_key in memo_keys]
 
     # ------------------------------------------------------------------
@@ -523,34 +575,44 @@ class ShardedBackend:
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         self.local.clear_caches()
-        with self._memo_lock:
-            self._plan_memo.clear()
-            self._hint_memo.clear()
+        self._plan_memo.clear()
+        self._hint_memo.clear()
         self._broadcast("clear_caches")
 
     def stats(self) -> Dict[str, float]:
-        with self._memo_lock:
-            plan_memo, hint_memo = len(self._plan_memo), len(self._hint_memo)
         return {
             "backend": "sharded",
             "workers": self.num_workers,
             "executions": self.executions,
-            "plan_memo": plan_memo,
-            "hint_memo": hint_memo,
+            "plan_memo": len(self._plan_memo),
+            "hint_memo": len(self._hint_memo),
         }
 
 
 def make_backend(
     workload,
     engine_workers: int = 1,
+    engine_url: str = "",
 ) -> "EngineBackend":
-    """Pick a backend for a workload: local for 1 worker, sharded otherwise.
+    """Pick a backend for a workload: remote > sharded > local.
 
-    The sharded pool reuses the workload's in-process engine for metadata,
-    SQL binding and uncached timing calls (avoiding a redundant dataset
-    rebuild in the parent); hot-path planning and execution go to freshly
-    started workers, whose caches begin cold and warm per key shard.
+    A non-empty ``engine_url`` (``tcp://host:port``, see
+    :mod:`repro.engine.remote`) wins over ``engine_workers``: planning and
+    execution go to a ``repro-engine`` server at that address, with the
+    workload's in-process engine kept client-side for metadata and SQL
+    binding.  Otherwise ``engine_workers`` picks local (1) or a sharded
+    worker pool (>1).  Both out-of-process backends reuse the workload's
+    in-process engine for metadata (avoiding a redundant dataset rebuild),
+    and both serve plans bitwise-identical to the local backend.
     """
+    if engine_url:
+        # Imported lazily: the remote subsystem is optional plumbing, and
+        # the default in-process path must not pay for it.
+        from repro.engine.remote.client import RemoteBackend
+
+        return RemoteBackend(
+            engine_url, database=workload.database, spec=workload.spec
+        )
     if engine_workers <= 1:
         return workload.database
     if workload.spec is None:

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import threading
 import time
-import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -24,6 +23,7 @@ import numpy as np
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import StatisticsCatalog
+from repro.engine.wire import crc32_chain
 from repro.executor.engine import ExecutionEngine, ExecutionResult
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, CostParameters, runtime_cost_parameters
@@ -59,13 +59,14 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     varies with ``PYTHONHASHSEED``.  Two datasets built from the same
     :class:`~repro.workloads.base.WorkloadSpec` by the same code get the
     same fingerprint; datagen drift changes it, which is what
-    ``FossSession.load`` checks against the saved manifest.
-    """
-    def chain(crc: int, field: bytes) -> int:
-        # Length-prefix every field: bare concatenation would let distinct
-        # datasets collide (e.g. dictionaries ["ab","c"] vs ["a","bc"]).
-        return zlib.crc32(field, zlib.crc32(f"{len(field)}:".encode("ascii"), crc))
+    ``FossSession.load`` checks against the saved manifest and what the
+    remote engine handshake checks across the client/server boundary.
 
+    Uses the same length-prefixed crc32 chaining as the socket wire format
+    (:func:`repro.engine.wire.crc32_chain`): bare concatenation would let
+    distinct datasets collide (e.g. dictionaries ["ab","c"] vs ["a","bc"]).
+    """
+    chain = crc32_chain
     crc = 0
     storage = dataset.storage
     for table_name in sorted(storage.table_names):

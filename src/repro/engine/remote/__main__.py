@@ -1,0 +1,8 @@
+"""``python -m repro.engine.remote`` — same entry point as ``repro-engine``."""
+
+import sys
+
+from repro.engine.remote.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,444 @@
+"""``RemoteBackend``: the ``EngineBackend`` protocol over a TCP socket.
+
+The client keeps an in-process :class:`~repro.engine.database.Database`
+for cheap, deterministic work that never needs the wire — SQL parse/bind,
+schema/statistics metadata, EXPLAIN — exactly like the sharded pool's
+parent engine; planning and execution RPCs travel to a ``repro-engine``
+server as pickled, length-prefixed, crc32-checksummed frames
+(:mod:`repro.engine.wire`).
+
+Concurrency follows the sharded pool's discipline: a small pool of
+connections, each guarded by a lock held across one full send→recv round
+trip, so concurrent tenants (e.g. a :class:`~repro.api.group.ServiceGroup`
+sharing one ``RemoteBackend``) pipeline whole batches without interleaving
+bytes on a socket.  ``*_many`` calls ship as single frames — one round
+trip per batch, not per item — and planning RPCs are memoized client-side
+(:class:`~repro.engine.backend.PlanningMemo`).
+
+Failure surface: connection drops and timeouts get a bounded reconnect
+(requests are idempotent — the engine is a pure function of the dataset —
+so a retry cannot double-apply anything) and then a typed
+:class:`RemoteEngineError`; a checksum-invalid or desynchronized stream
+raises :class:`~repro.engine.wire.FrameCorruptionError` immediately,
+because corruption is a bug to surface, not a transient to paper over.
+
+At connect time the client compares the server's dataset fingerprint
+against its own mirror and refuses to serve across datagen drift — the
+same crc32 fingerprint the session manifest records.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.backend import PlanningMemo
+from repro.engine.database import Database, Dataset, PlanningResult, dataset_fingerprint
+from repro.engine.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameCorruptionError,
+    FrameTooLargeError,
+    read_frame,
+    write_frame,
+)
+from repro.executor.engine import ExecutionResult
+from repro.optimizer.dp import OptimizerOptions
+from repro.optimizer.plans import PlanNode, plan_signature
+from repro.sql.ast import Query
+
+
+class RemoteEngineError(RuntimeError):
+    """A remote engine RPC failed (server error, dead/unreachable server,
+    timeout after bounded reconnects, or a client/server dataset mismatch)."""
+
+
+def parse_engine_url(url: str) -> Tuple[str, int]:
+    """``tcp://host:port`` → ``(host, port)``; loud on anything else."""
+    if not url.startswith("tcp://"):
+        raise ValueError(
+            f"engine_url must look like tcp://host:port, got {url!r}"
+        )
+    rest = url[len("tcp://") :]
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host or not port_text:
+        raise ValueError(
+            f"engine_url must look like tcp://host:port, got {url!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"engine_url port must be an integer, got {url!r}"
+        ) from None
+    if not (0 < port < 65536):
+        raise ValueError(f"engine_url port out of range in {url!r}")
+    return host, port
+
+
+class _Connection:
+    """One pooled socket: lazy connect, framed round trips, drop on error."""
+
+    def __init__(self, host: str, port: int, timeout_s: float, max_frame_bytes: int) -> None:
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._max_frame_bytes = max_frame_bytes
+        self.lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+
+    def ensure(self) -> bool:
+        """Connect if needed; True when this call created a fresh socket."""
+        if self._sock is not None:
+            return False
+        sock = socket.create_connection((self._host, self._port), timeout=self._timeout_s)
+        sock.settimeout(self._timeout_s)
+        # One small request frame per batch: don't let Nagle hold it back.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+        return True
+
+    def round_trip(self, request: bytes) -> bytes:
+        """Send one frame, read one frame; caller must hold ``lock``."""
+        write_frame(self._stream, request, max_frame_bytes=self._max_frame_bytes)
+        response = read_frame(self._stream, max_frame_bytes=self._max_frame_bytes)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+    def drop(self) -> None:
+        stream, sock = self._stream, self._sock
+        self._stream = None
+        self._sock = None
+        for closable in (stream, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:  # pragma: no cover - platform-dependent
+                    pass
+
+
+class RemoteBackend:
+    """An ``EngineBackend`` served by a ``repro-engine`` TCP server.
+
+    ``spec``/``database`` mirror the dataset client-side (at least one is
+    required): ``database`` reuses an already-built engine (what
+    :func:`~repro.engine.backend.make_backend` does with the workload's),
+    ``spec`` rebuilds one.  The mirror serves metadata/SQL binding and
+    anchors the connect-time fingerprint handshake against the server.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        spec=None,
+        database: Optional[Database] = None,
+        pool_size: int = 2,
+        timeout_s: float = 120.0,
+        max_reconnects: int = 2,
+        reconnect_backoff_s: float = 0.05,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if database is None and spec is None:
+            raise ValueError("RemoteBackend needs a spec or a prebuilt database")
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.url = url
+        self._host, self._port = parse_engine_url(url)
+        self.spec = spec
+        self.local = database if database is not None else spec.build_database()
+        self.timeout_s = timeout_s
+        self.max_reconnects = max_reconnects
+        self.reconnect_backoff_s = reconnect_backoff_s
+        self.max_frame_bytes = max_frame_bytes
+        self._pool = [
+            _Connection(self._host, self._port, timeout_s, max_frame_bytes)
+            for _ in range(pool_size)
+        ]
+        self._rr_lock = threading.Lock()
+        self._rr = 0
+        self._state_lock = threading.Lock()
+        self._remote_executions = 0
+        self._closed = False
+        self._plan_memo = PlanningMemo(self.local.hint_cache_capacity)
+        self._hint_memo = PlanningMemo(self.local.hint_cache_capacity)
+        # Connect-time handshake: refuse to serve across datagen drift.
+        hello = self._call("fingerprint", None)
+        self.remote_fingerprint: str = hello["dataset_fingerprint"]
+        self.server_info: Dict = hello
+        local_fingerprint = dataset_fingerprint(self.local.dataset)
+        if self.remote_fingerprint != local_fingerprint:
+            self.close()
+            raise RemoteEngineError(
+                f"dataset fingerprint mismatch against {url}: the server is "
+                f"serving {self.remote_fingerprint} but this client's dataset "
+                f"is {local_fingerprint}; client and server must build the "
+                f"same workload (name/scale/seed) with the same datagen code"
+            )
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def _acquire(self) -> _Connection:
+        """A pooled connection with its lock held (free one, else round-robin)."""
+        for conn in self._pool:
+            if conn.lock.acquire(blocking=False):
+                return conn
+        with self._rr_lock:
+            self._rr = (self._rr + 1) % len(self._pool)
+            conn = self._pool[self._rr]
+        conn.lock.acquire()
+        return conn
+
+    def _call(self, kind: str, payload):
+        """One framed RPC round trip with bounded reconnect.
+
+        The connection lock is held across the full send→recv (the sharded
+        pool's pipe discipline): a frame on the wire is never interleaved
+        with another thread's.  Dropped connections and timeouts reconnect
+        up to ``max_reconnects`` times — safe because every engine RPC is
+        idempotent — then raise :class:`RemoteEngineError`;
+        :class:`FrameCorruptionError` propagates immediately.
+        """
+        self._check_open()
+        request = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        if len(request) > self.max_frame_bytes:
+            # Rejected before a connection is touched: nothing reached the
+            # wire, so no healthy pooled socket should be dropped for it.
+            raise FrameTooLargeError(
+                f"request {kind!r} pickles to {len(request)} bytes "
+                f"(max_frame_bytes={self.max_frame_bytes})"
+            )
+        conn = self._acquire()
+        try:
+            attempts = 0
+            while True:
+                try:
+                    if conn.ensure():
+                        # Every fresh socket re-runs the fingerprint
+                        # handshake: a transparent reconnect is exactly the
+                        # moment the peer may have been restarted with
+                        # drifted datagen, and serving across that would
+                        # silently break the determinism contract.
+                        self._verify_connection(conn)
+                    response_bytes = conn.round_trip(request)
+                    break
+                except FrameCorruptionError:
+                    # The stream cannot be trusted any more, but the error
+                    # itself must surface — corruption is not a transient.
+                    conn.drop()
+                    raise
+                except (ConnectionError, EOFError, OSError) as exc:
+                    conn.drop()
+                    attempts += 1
+                    if attempts > self.max_reconnects:
+                        raise RemoteEngineError(
+                            f"engine RPC {kind!r} to {self.url} failed after "
+                            f"{attempts} attempt(s): {exc!r}"
+                        ) from exc
+                    time.sleep(self.reconnect_backoff_s * attempts)
+        finally:
+            conn.lock.release()
+        status, body = pickle.loads(response_bytes)
+        if status != "ok":
+            raise RemoteEngineError(f"remote engine at {self.url}: {body}")
+        result, executions = body
+        with self._state_lock:
+            # Monotonic merge: responses from different pooled connections
+            # can land out of order.
+            self._remote_executions = max(self._remote_executions, executions)
+        return result
+
+    def _verify_connection(self, conn: _Connection) -> None:
+        """Fingerprint-check a fresh socket against the pinned handshake.
+
+        No-op during ``__init__``'s first call (nothing pinned yet — that
+        call *is* the handshake and does its own comparison).  Connection
+        errors here propagate to the caller's reconnect loop; a mismatch
+        is terminal.
+        """
+        expected = getattr(self, "remote_fingerprint", None)
+        if expected is None:
+            return
+        hello = conn.round_trip(
+            pickle.dumps(("fingerprint", None), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        status, body = pickle.loads(hello)
+        if status != "ok":
+            raise RemoteEngineError(f"remote engine at {self.url}: {body}")
+        result, _executions = body
+        actual = result["dataset_fingerprint"]
+        if actual != expected:
+            conn.drop()
+            raise RemoteEngineError(
+                f"dataset fingerprint drift at {self.url}: the server now "
+                f"serves {actual} but this client is pinned to {expected} "
+                f"(the server was restarted with different datagen); refusing "
+                f"to serve plans from a different database"
+            )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("RemoteBackend is closed")
+
+    # ------------------------------------------------------------------
+    # metadata: served by the client-side mirror engine
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.local.dataset
+
+    @property
+    def schema(self):
+        return self.local.schema
+
+    @property
+    def statistics(self):
+        return self.local.statistics
+
+    @property
+    def storage(self):
+        return self.local.storage
+
+    @property
+    def executions(self) -> int:
+        """Real executions: the server's counter plus any local fallbacks."""
+        with self._state_lock:
+            remote = self._remote_executions
+        return self.local.executions + remote
+
+    def sql(self, text: str, name: str = "") -> Query:
+        # Parse/bind is a pure function of the (identical, fingerprint-
+        # checked) schema — binding locally saves a round trip per query.
+        # The server serves a "sql" RPC too, for clients without a mirror.
+        return self.local.sql(text, name=name)
+
+    def explain(self, plan: PlanNode) -> str:
+        return self.local.explain(plan)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+        return self.plan_many([query], options)[0]
+
+    def plan_many(
+        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
+    ) -> List[PlanningResult]:
+        suffix = "" if options is None else f"@{options.signature()}"
+        keys = [query.signature() + suffix for query in queries]
+        resolved, miss_keys, miss_queries = self._plan_memo.lookup(keys, queries)
+        if miss_queries:
+            results = self._call("plan_many", (miss_queries, options))
+            self._plan_memo.fill(miss_keys, results)
+            for key, result in zip(miss_keys, results):
+                resolved[key] = result
+        return [resolved[key] for key in keys]
+
+    def plan_with_hints(
+        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+    ) -> PlanningResult:
+        return self.plan_with_hints_many([(query, join_order, join_methods)])[0]
+
+    def plan_with_hints_many(
+        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
+    ) -> List[PlanningResult]:
+        normalized = [
+            (query, tuple(join_order), tuple(join_methods))
+            for query, join_order, join_methods in requests
+        ]
+        memo_keys = [
+            (query.signature(), join_order, join_methods)
+            for query, join_order, join_methods in normalized
+        ]
+        resolved, miss_keys, miss_requests = self._hint_memo.lookup(memo_keys, normalized)
+        if miss_requests:
+            results = self._call("hint_many", miss_requests)
+            self._hint_memo.fill(miss_keys, results)
+            for memo_key, result in zip(miss_keys, results):
+                resolved[memo_key] = result
+        return [resolved[memo_key] for memo_key in memo_keys]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        plan: PlanNode,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> ExecutionResult:
+        if not use_cache:
+            # Uncached timing studies bypass the server's latency cache
+            # (Database.execute skips the cache write for them too).
+            return self._call("execute", (query, plan, timeout_ms, False))
+        return self.execute_many([(query, plan, timeout_ms)])[0]
+
+    def execute_many(
+        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
+    ) -> List[ExecutionResult]:
+        return self._call("execute_many", list(requests))
+
+    def original_latency(self, query: Query) -> float:
+        planning = self.plan(query)
+        return self.execute(query, planning.plan).latency_ms
+
+    # ------------------------------------------------------------------
+    # cache control / stats
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        self.local.clear_caches()
+        self._plan_memo.clear()
+        self._hint_memo.clear()
+        self._call("clear_caches", None)
+
+    def stats(self) -> Dict[str, float]:
+        server = self._call("stats", None)
+        return {
+            "backend": "remote",
+            "url": self.url,
+            "connections": len(self._pool),
+            "executions": self.executions,
+            "plan_memo": len(self._plan_memo),
+            "hint_memo": len(self._hint_memo),
+            "server_backend": server.get("backend"),
+            "server_workers": server.get("workers"),
+            "server_executions": server.get("executions"),
+        }
+
+    def ping(self) -> bool:
+        """One round trip against the live server (health check)."""
+        self._call("ping", None)
+        return True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop every pooled connection; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._pool:
+            # Don't wait on in-flight round trips: dropping a socket the
+            # server side is mid-write on is safe (the server tolerates
+            # client disconnects), and close must never hang.
+            conn.drop()
+
+    def __enter__(self) -> "RemoteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering varies
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,371 @@
+"""``EngineServer`` and the ``repro-engine`` console entry point.
+
+The server wraps any existing backend — in-process
+:class:`~repro.engine.backend.LocalBackend` or a
+:class:`~repro.engine.backend.ShardedBackend` worker pool, chosen by
+``--workers`` — and serves the full ``EngineBackend`` surface over TCP:
+``sql`` / ``plan`` / ``plan_with_hints`` / ``execute``, their ``*_many``
+batch mirrors, ``stats``, cache control, and the ``fingerprint`` handshake
+RPC.  One length-prefixed crc32-checksummed frame per message
+(:mod:`repro.engine.wire`); request and response payloads are pickles, the
+same representation the sharded pool already ships over its worker pipes,
+so the protocol is: trusted clients only (bind to loopback or a private
+network, as with memcached/redis).
+
+Responses carry the backend's cumulative execution count alongside every
+result — the client aggregates cache-miss statistics without an extra
+round trip, exactly like the sharded worker protocol.
+
+Each client connection is served by its own thread against the one shared
+backend; that is safe because the engine request path is thread-safe (the
+PR-4 contract: ``Database`` serializes its entry points, the sharded pool
+holds per-worker pipe locks across round trips).  A client that
+disconnects mid-request — a truncated frame, a dropped socket — costs only
+its own connection: the dispatch either never starts (the frame never
+checksummed) or runs to completion against the backend, and the failed
+response write tears down that handler alone, never the pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import sys
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.engine.backend import ShardedBackend
+from repro.engine.database import dataset_fingerprint
+from repro.engine.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameCorruptionError,
+    read_frame,
+    write_frame,
+)
+
+PROTOCOL_VERSION = 1
+
+
+class EngineServer:
+    """Serve one engine backend to many framed-RPC TCP clients."""
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        workload_info: Optional[Dict] = None,
+        owns_backend: bool = False,
+    ) -> None:
+        self.backend = backend
+        self.max_frame_bytes = max_frame_bytes
+        self.workload_info = dict(workload_info or {})
+        self._owns_backend = owns_backend
+        # Computed once: the handshake must not pay a full-table crc per
+        # connection, and the dataset is immutable.
+        self._fingerprint = dataset_fingerprint(backend.dataset)
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()  # guards _clients/_closed
+        # client id -> (socket, handler thread); the handler prunes its own
+        # entry on exit, so the registry tracks live connections only.
+        self._clients: Dict[int, Tuple[socket.socket, threading.Thread]] = {}
+        self._next_client = 0
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def start(self) -> "EngineServer":
+        """Accept clients on a background thread; returns immediately."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-engine-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`close` (or KeyboardInterrupt in ``main``)."""
+        self._accept_loop()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed — shutdown
+            with self._lock:
+                if self._closed:
+                    sock.close()
+                    return
+                client_id = self._next_client
+                self._next_client += 1
+                thread = threading.Thread(
+                    target=self._serve_client,
+                    args=(client_id, sock),
+                    name=f"repro-engine-client-{client_id}",
+                    daemon=True,
+                )
+                self._clients[client_id] = (sock, thread)
+                # Started under the lock: close() must never snapshot a
+                # thread that exists but has not been started (join would
+                # raise and skip the owned-backend shutdown).
+                thread.start()
+
+    def _serve_client(self, client_id: int, sock: socket.socket) -> None:
+        stream = None
+        try:
+            try:
+                # close() may have raced the accept and shut the socket.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                stream = sock.makefile("rwb")
+            except OSError:
+                return
+            while True:
+                try:
+                    payload = read_frame(stream, max_frame_bytes=self.max_frame_bytes)
+                except (FrameCorruptionError, OSError):
+                    # Truncated/corrupt/dropped mid-frame: the stream can't
+                    # be resynchronized; drop this client, keep serving the
+                    # rest.  The backend was never touched by the bad frame.
+                    return
+                if payload is None:
+                    return  # clean disconnect at a frame boundary
+                response = self._dispatch(payload)
+                blob = pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
+                if len(blob) > self.max_frame_bytes:
+                    # Report the overflow as a normal error frame instead of
+                    # letting the write raise: dropping the socket would
+                    # make the client retry (and the backend re-execute)
+                    # the same oversized batch, and hide the real cause.
+                    blob = pickle.dumps(
+                        (
+                            "err",
+                            f"response frame too large: {len(blob)} bytes > "
+                            f"max_frame_bytes={self.max_frame_bytes}; split "
+                            f"the batch into smaller *_many calls",
+                        ),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                try:
+                    write_frame(stream, blob, max_frame_bytes=self.max_frame_bytes)
+                except (OSError, ValueError):
+                    return  # client went away while we were answering
+        finally:
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._clients.pop(client_id, None)
+
+    def _dispatch(self, payload: bytes):
+        """One request → ``("ok", (result, executions))`` or ``("err", msg)``."""
+        try:
+            kind, body = pickle.loads(payload)
+        except Exception as exc:
+            return ("err", f"undecodable request: {exc!r}")
+        backend = self.backend
+        try:
+            if kind == "ping":
+                result = None
+            elif kind == "fingerprint":
+                result = {
+                    "protocol": PROTOCOL_VERSION,
+                    "dataset_fingerprint": self._fingerprint,
+                    "workload": self.workload_info,
+                    "backend": backend.stats().get("backend"),
+                }
+            elif kind == "sql":
+                text, name = body
+                result = backend.sql(text, name=name)
+            elif kind == "plan_many":
+                queries, options = body
+                result = backend.plan_many(queries, options)
+            elif kind == "hint_many":
+                result = backend.plan_with_hints_many(body)
+            elif kind == "execute_many":
+                result = backend.execute_many(body)
+            elif kind == "execute":
+                query, plan, timeout_ms, use_cache = body
+                result = backend.execute(
+                    query, plan, timeout_ms=timeout_ms, use_cache=use_cache
+                )
+            elif kind == "clear_caches":
+                backend.clear_caches()
+                result = None
+            elif kind == "stats":
+                result = backend.stats()
+            else:
+                raise ValueError(f"unknown engine RPC {kind!r}")
+            return ("ok", (result, backend.executions))
+        except Exception as exc:
+            return ("err", f"{kind} failed: {exc!r}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, drop clients, release the backend; idempotent.
+
+        Safe while handlers are mid-request: closing a client socket makes
+        that handler's next read/write fail and exit; the shared backend is
+        only closed after every handler thread has been joined (bounded),
+        so a sharded pool is never shut down under a live scatter.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            clients = list(self._clients.values())
+        # shutdown() before close(): a thread blocked in accept() holds a
+        # kernel reference that keeps the LISTEN socket alive (and the
+        # port unbindable) even after close(); shutdown wakes it first.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for sock, _thread in clients:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for _sock, thread in clients:
+            thread.join(timeout=5)
+        if self._owns_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    workload: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> EngineServer:
+    """Build a dataset + backend for ``workload`` and return a live server.
+
+    ``workers`` chooses the wrapped backend: 1 keeps the engine in the
+    server process, >1 stands up a sharded worker pool behind the socket.
+    The server owns the backend and shuts it down on :meth:`EngineServer.
+    close`.  The returned server is *not* started.
+    """
+    from repro.workloads.base import WorkloadSpec
+
+    spec = WorkloadSpec(name=workload, scale=scale, seed=seed)
+    database = spec.build_database()
+    if workers > 1:
+        backend = ShardedBackend(spec, workers, database=database)
+    else:
+        backend = database
+    return EngineServer(
+        backend,
+        host=host,
+        port=port,
+        max_frame_bytes=max_frame_bytes,
+        workload_info={"name": workload, "scale": scale, "seed": seed},
+        owns_backend=True,
+    )
+
+
+def main(argv=None) -> int:
+    """The ``repro-engine`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-engine",
+        description=(
+            "Serve a FOSS expert engine over TCP: build the named workload's "
+            "dataset, wrap a local or sharded backend, and answer framed "
+            "EngineBackend RPCs from repro clients (FossConfig.engine_url)."
+        ),
+    )
+    parser.add_argument("workload", help="workload name: job | tpcds | stack")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=1, help="datagen seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine processes behind the socket (1 = in-process backend)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7733, help="bind port (0 = OS-assigned)"
+    )
+    parser.add_argument(
+        "--max-frame-mb",
+        type=float,
+        default=DEFAULT_MAX_FRAME_BYTES / (1024 * 1024),
+        help="reject frames above this size",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"repro-engine: building workload {args.workload!r} "
+        f"(scale={args.scale}, seed={args.seed}, workers={args.workers})...",
+        flush=True,
+    )
+    server = serve(
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=int(args.max_frame_mb * 1024 * 1024),
+    )
+    # The listening line is machine-readable on purpose: launchers (CI, the
+    # serve_remote example) wait for it and parse the url out of it.
+    print(
+        f"repro-engine: listening on {server.url} "
+        f"(dataset_fingerprint={server.fingerprint})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

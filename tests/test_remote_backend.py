@@ -1,0 +1,429 @@
+"""The remote engine subsystem: parity, robustness, lifecycle.
+
+The contracts under test (see :mod:`repro.engine.remote`):
+
+* plans are **bitwise-identical** across ``LocalBackend``,
+  ``ShardedBackend`` and ``RemoteBackend`` — including the batched
+  ``*_many`` mirrors — because every backend rebuilds the same dataset
+  from the same :class:`WorkloadSpec` (here the server builds its *own*
+  engine from the spec, so the wire genuinely separates client and
+  server);
+* a 2-tenant :class:`ServiceGroup` can share **one** ``RemoteBackend``
+  and serve the same plans as local sessions;
+* the connect-time fingerprint handshake refuses client/server datagen
+  drift; the session manifest records the remote fingerprint and
+  :meth:`FossSession.load` re-checks it;
+* a dead/restarted server costs a bounded reconnect, then a typed
+  ``RemoteEngineError``; a client that disconnects mid-frame costs the
+  server nothing but that one connection.
+
+Every blocking call carries a timeout, and an autouse watchdog dumps all
+stacks and kills the process if a test wedges — a hung socket must fail
+fast, not hang tier-1.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.api import FossConfig, FossSession, ServiceGroup
+from repro.core.aam import AAMConfig
+from repro.core.icp import IncompletePlan
+from repro.engine.backend import ShardedBackend, make_backend
+from repro.engine.remote import EngineServer, RemoteBackend, RemoteEngineError
+from repro.engine.wire import FrameTooLargeError
+from repro.optimizer.plans import plan_signature
+
+# Per-test deadlock guard: generous against 1-CPU CI, tiny against a hang.
+WATCHDOG_S = 180.0
+# Socket timeout for every client in this module; well under the watchdog.
+CLIENT_TIMEOUT_S = 60.0
+
+
+def _watchdog_fire() -> None:  # pragma: no cover - only on deadlock
+    faulthandler.dump_traceback()
+    os._exit(2)
+
+
+@pytest.fixture(autouse=True)
+def deadlock_watchdog():
+    """Fail fast (with stacks) instead of hanging the suite on a hung socket."""
+    timer = threading.Timer(WATCHDOG_S, _watchdog_fire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
+
+
+def tiny_config(**overrides) -> FossConfig:
+    defaults = dict(
+        max_steps=3,
+        episodes_per_update=8,
+        bootstrap_episodes=6,
+        aam_retrain_threshold=40,
+        random_sample_episodes=1,
+        validation_budget=5,
+        seed=33,
+        aam=AAMConfig(
+            d_model=32, d_embed=8, d_state=32, num_heads=2, num_layers=1,
+            ff_hidden=32, epochs=1,
+        ),
+    )
+    defaults.update(overrides)
+    return FossConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def server_db(job_workload):
+    """The server-side engine: rebuilt from the spec, NOT the client's object."""
+    return job_workload.spec.build_database()
+
+
+@pytest.fixture(scope="module")
+def engine_server(server_db):
+    with EngineServer(server_db) as server:
+        server.start()
+        yield server
+
+
+@pytest.fixture(scope="module")
+def remote_backend(engine_server, job_workload):
+    with RemoteBackend(
+        engine_server.url, database=job_workload.database, timeout_s=CLIENT_TIMEOUT_S
+    ) as backend:
+        yield backend
+
+
+# ----------------------------------------------------------------------
+# parity: local == sharded == remote, singletons and batches
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    def test_plans_identical_across_all_three_backends(
+        self, job_workload, remote_backend
+    ):
+        local = job_workload.database
+        queries = [w.query for w in job_workload.train[:6]]
+        local_sigs = [plan_signature(p.plan) for p in local.plan_many(queries)]
+        remote_sigs = [plan_signature(p.plan) for p in remote_backend.plan_many(queries)]
+        with ShardedBackend(job_workload.spec, 2, database=local) as sharded:
+            sharded_sigs = [plan_signature(p.plan) for p in sharded.plan_many(queries)]
+        assert remote_sigs == local_sigs
+        assert sharded_sigs == local_sigs
+
+    def test_hinted_completion_parity_including_batches(
+        self, job_workload, remote_backend
+    ):
+        local = job_workload.database
+        query = next(w.query for w in job_workload.train if w.query.num_tables >= 3)
+        icp = IncompletePlan.extract(local.plan(query).plan)
+        edited = icp.override(1, "merge" if icp.methods[0] != "merge" else "nestloop")
+        requests = [
+            (query, icp.order, icp.methods),
+            (query, edited.order, edited.methods),
+            (query, icp.order, icp.methods),  # repeat: client memo hit
+        ]
+        remote = remote_backend.plan_with_hints_many(requests)
+        singles = [local.plan_with_hints(*request) for request in requests]
+        assert [plan_signature(r.plan) for r in remote] == [
+            plan_signature(r.plan) for r in singles
+        ]
+        one = remote_backend.plan_with_hints(query, icp.order, icp.methods)
+        assert plan_signature(one.plan) == plan_signature(singles[0].plan)
+
+    def test_execution_parity_and_batches(self, job_workload, remote_backend):
+        local = job_workload.database
+        query = next(w.query for w in job_workload.train if w.query.num_tables >= 3)
+        plan = local.plan(query).plan
+        assert (
+            remote_backend.execute(query, plan).latency_ms
+            == local.execute(query, plan).latency_ms
+        )
+        batch = [(query, plan, None), (query, plan, 10_000.0)]
+        remote_results = remote_backend.execute_many(batch)
+        local_results = local.execute_many(batch)
+        assert [r.latency_ms for r in remote_results] == [
+            r.latency_ms for r in local_results
+        ]
+        assert remote_backend.original_latency(query) == local.original_latency(query)
+
+    def test_uncached_execute_bypasses_server_cache(self, job_workload, remote_backend):
+        query = job_workload.train[0].query
+        plan = job_workload.database.plan(query).plan
+        before = remote_backend.executions
+        first = remote_backend.execute(query, plan, use_cache=False)
+        second = remote_backend.execute(query, plan, use_cache=False)
+        assert first.latency_ms == second.latency_ms  # virtual time is deterministic
+        assert remote_backend.executions >= before + 2, "uncached runs must not cache"
+
+    def test_sql_rpc_served_for_mirrorless_clients(
+        self, job_workload, remote_backend
+    ):
+        wq = job_workload.train[0]
+        served = remote_backend._call("sql", (wq.sql, ""))
+        assert served.signature() == job_workload.database.sql(wq.sql).signature()
+
+    def test_executions_and_stats_surface(self, job_workload, remote_backend):
+        stats = remote_backend.stats()
+        assert stats["backend"] == "remote"
+        assert stats["url"] == remote_backend.url
+        assert stats["server_backend"] == "local"
+        query = job_workload.train[1].query
+        plan = job_workload.database.plan(query).plan
+        before = remote_backend.executions
+        remote_backend.execute(query, plan)
+        after_miss = remote_backend.executions
+        assert after_miss >= before + 1, "server cache miss must count"
+        remote_backend.execute(query, plan)
+        assert remote_backend.executions == after_miss, "server cache hit must not count"
+
+    def test_server_error_is_typed_and_does_not_poison_connection(
+        self, job_workload, remote_backend
+    ):
+        with pytest.raises(RemoteEngineError, match="unknown engine RPC"):
+            remote_backend._call("bogus_rpc", None)
+        assert remote_backend.ping()  # same pool still serves
+
+
+# ----------------------------------------------------------------------
+# the api layer over a remote engine
+# ----------------------------------------------------------------------
+class TestRemoteServing:
+    def test_engine_url_selects_remote_backend(self, engine_server, job_workload):
+        config = tiny_config(engine_url=engine_server.url)
+        with FossSession.open(workload=job_workload, config=config) as session:
+            assert isinstance(session.backend, RemoteBackend)
+            sql = job_workload.train[0].sql
+            remote_plan = plan_signature(session.service().optimize_sql(sql).plan)
+        with FossSession.open(workload=job_workload, config=tiny_config()) as local:
+            local_plan = plan_signature(local.service().optimize_sql(sql).plan)
+        assert remote_plan == local_plan
+
+    def test_two_tenant_group_over_one_shared_remote(
+        self, job_workload, remote_backend
+    ):
+        sqls = [wq.sql for wq in job_workload.train[:3]]
+        with FossSession.open(workload=job_workload, config=tiny_config()) as local:
+            expected = [
+                plan_signature(local.service().optimize_sql(sql).plan) for sql in sqls
+            ]
+        with ServiceGroup.open(
+            workload=job_workload,
+            tenants=("alpha", "beta"),
+            config=tiny_config(),
+            backend=remote_backend,
+        ) as group:
+            assert group.backend is remote_backend
+            for tenant in group.tenants:
+                served = [
+                    plan_signature(group.optimize_sql(tenant, sql).plan)
+                    for sql in sqls
+                ]
+                assert served == expected, f"tenant {tenant!r} diverged"
+            assert group.stats()["backend"]["backend"] == "remote"
+        # The group must not close the injected shared backend.
+        assert remote_backend.ping()
+
+    def test_manifest_records_remote_fingerprint(
+        self, job_workload, remote_backend, tmp_path
+    ):
+        path = str(tmp_path / "remote-doctor")
+        session = FossSession.open(
+            workload=job_workload, config=tiny_config(), backend=remote_backend
+        )
+        session.save(path)
+        with open(os.path.join(path, "session.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["remote"]["engine_url"] == remote_backend.url
+        assert (
+            manifest["remote"]["dataset_fingerprint"]
+            == remote_backend.remote_fingerprint
+            == manifest["dataset_fingerprint"]
+        )
+        restored = FossSession.load(path, backend=remote_backend)
+        sql = job_workload.train[0].sql
+        assert plan_signature(
+            restored.service().optimize_sql(sql).plan
+        ) == plan_signature(session.service().optimize_sql(sql).plan)
+
+    def test_load_rejects_drifted_remote_server(
+        self, job_workload, remote_backend, tmp_path
+    ):
+        path = str(tmp_path / "remote-doctor-drift")
+        session = FossSession.open(
+            workload=job_workload, config=tiny_config(), backend=remote_backend
+        )
+        session.save(path)
+        # Simulate server-side datagen drift after the save: the local
+        # mirror still matches the manifest, but the serving engine doesn't.
+        original = remote_backend.remote_fingerprint
+        remote_backend.remote_fingerprint = "crc32:deadbeef:rows=0"
+        try:
+            with pytest.raises(ValueError, match="remote engine"):
+                FossSession.load(path, backend=remote_backend)
+        finally:
+            remote_backend.remote_fingerprint = original
+
+
+# ----------------------------------------------------------------------
+# robustness: handshake, reconnect, corrupt clients, limits
+# ----------------------------------------------------------------------
+class TestRemoteRobustness:
+    def test_handshake_refuses_fingerprint_mismatch(self, server_db, job_workload):
+        with EngineServer(server_db) as server:
+            server.start()
+            server._fingerprint = "crc32:deadbeef:rows=0"  # simulated drift
+            with pytest.raises(RemoteEngineError, match="fingerprint mismatch"):
+                RemoteBackend(
+                    server.url,
+                    database=job_workload.database,
+                    timeout_s=CLIENT_TIMEOUT_S,
+                )
+
+    def test_bounded_reconnect_across_server_restart(self, server_db, job_workload):
+        first = EngineServer(server_db)
+        first.start()
+        port = first.port
+        client = RemoteBackend(
+            first.url,
+            database=job_workload.database,
+            pool_size=1,
+            timeout_s=CLIENT_TIMEOUT_S,
+            max_reconnects=3,
+            reconnect_backoff_s=0.01,
+        )
+        try:
+            assert client.ping()
+            first.close()
+            # Same address, fresh server process-equivalent: the client's
+            # pooled connection is dead and must transparently reconnect.
+            second = EngineServer(server_db, port=port)
+            second.start()
+            try:
+                assert client.ping(), "client must reconnect to a restarted server"
+            finally:
+                second.close()
+            # No server at all: bounded attempts, then a typed error.
+            with pytest.raises(RemoteEngineError, match="failed after"):
+                client.ping()
+        finally:
+            client.close()
+            first.close()
+
+    def test_reconnect_reverifies_fingerprint(self, server_db, job_workload):
+        # The drift check must hold through transparent reconnects, not
+        # just at construction: a restart is exactly when datagen can change.
+        first = EngineServer(server_db)
+        first.start()
+        port = first.port
+        client = RemoteBackend(
+            first.url,
+            database=job_workload.database,
+            pool_size=1,
+            timeout_s=CLIENT_TIMEOUT_S,
+            max_reconnects=3,
+            reconnect_backoff_s=0.01,
+        )
+        try:
+            assert client.ping()
+            first.close()
+            second = EngineServer(server_db, port=port)
+            second._fingerprint = "crc32:deadbeef:rows=0"  # simulated drift
+            second.start()
+            try:
+                with pytest.raises(RemoteEngineError, match="drift"):
+                    client.ping()
+            finally:
+                second.close()
+        finally:
+            client.close()
+            first.close()
+
+    def test_oversized_response_reported_not_dropped(self, server_db, job_workload):
+        import pickle
+
+        queries = [w.query for w in job_workload.train[:8]]
+        for query in queries:
+            query.signature()  # populate lazy caches so pickle sizes are stable
+        request_size = len(
+            pickle.dumps(
+                ("plan_many", (queries, None)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
+        # Measure the exact response the capped server will produce.
+        results = server_db.plan_many(queries)
+        response_size = len(
+            pickle.dumps(
+                ("ok", (results, server_db.executions)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+        if response_size <= request_size + 64:
+            pytest.skip("plan trees not larger than queries at this scale")
+        # The request (and the fingerprint handshake) fit; the response can't.
+        cap = request_size + 32
+        with EngineServer(server_db, max_frame_bytes=cap) as server:
+            server.start()
+            client = RemoteBackend(
+                server.url, database=job_workload.database, timeout_s=CLIENT_TIMEOUT_S
+            )
+            try:
+                with pytest.raises(RemoteEngineError, match="response frame too large"):
+                    client.plan_many(queries)
+                # An error frame, not a dropped socket: the connection (and
+                # the already-computed work) survives for smaller batches.
+                assert client.ping()
+                assert plan_signature(
+                    client.plan(queries[0]).plan
+                ) == plan_signature(results[0].plan)
+            finally:
+                client.close()
+
+    def test_client_disconnect_mid_frame_leaves_server_healthy(
+        self, engine_server, remote_backend
+    ):
+        # A client that dies mid-header: the server must drop only that
+        # connection, never wedge the shared backend.
+        for garbage in (b"\x00\x01", b"GARBAGEGARBAGE!!"):
+            raw = socket.create_connection(
+                (engine_server.host, engine_server.port), timeout=10.0
+            )
+            raw.sendall(garbage)
+            raw.close()
+        assert remote_backend.ping(), "server must keep serving other clients"
+
+    def test_oversized_request_rejected_client_side(self, engine_server, job_workload):
+        client = RemoteBackend(
+            engine_server.url,
+            database=job_workload.database,
+            timeout_s=CLIENT_TIMEOUT_S,
+            max_frame_bytes=128,  # far below any real batch pickle
+        )
+        try:
+            queries = [w.query for w in job_workload.train[:2]]
+            with pytest.raises(FrameTooLargeError):
+                client.plan_many(queries)
+        finally:
+            client.close()
+
+    def test_calls_after_close_raise(self, engine_server, job_workload):
+        client = RemoteBackend(
+            engine_server.url, database=job_workload.database, timeout_s=CLIENT_TIMEOUT_S
+        )
+        client.close()
+        client.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            client.ping()
+
+    def test_make_backend_url_validation(self, job_workload):
+        with pytest.raises(ValueError, match="tcp://"):
+            make_backend(job_workload, engine_url="http://localhost:80")
+        with pytest.raises(ValueError, match="engine_url"):
+            FossConfig(engine_url="localhost:7733")

@@ -168,3 +168,55 @@ class TestWorkerCountInvariance:
         baseline = run(1)
         for workers in (2, 4):
             assert run(workers) == baseline, f"engine_workers={workers} training diverged"
+
+
+class TestPoolTeardownSafety:
+    """Regression coverage: a wedged or dying client must not leak workers.
+
+    The serving front (and now the remote engine server) can abandon an
+    in-flight round trip — a client disconnects mid-request, a serving
+    thread dies while holding a worker lock.  close() must still reclaim
+    every worker process and pipe, and a partially-failed scatter must
+    drain the responses it already provoked so the pool stays aligned.
+    """
+
+    def test_close_reclaims_wedged_worker(self, job_workload):
+        import time
+
+        backend = ShardedBackend(job_workload.spec, 2, database=job_workload.database)
+        backend.close_grace_s = 0.2  # don't burn the real 30s grace in a test
+        # Simulate a client thread that died mid-round-trip: worker 0's
+        # lock is held forever and will never be released.
+        backend._worker_locks[0].acquire()
+        start = time.monotonic()
+        backend.close()
+        elapsed = time.monotonic() - start
+        assert elapsed < 15.0, f"close took {elapsed:.1f}s against a wedged worker"
+        assert all(not proc.is_alive() for proc in backend._procs), (
+            "close must not leak worker processes behind a wedged lock"
+        )
+        assert all(conn.closed for conn in backend._conns), (
+            "close must not leak parent pipe fds behind a wedged lock"
+        )
+
+    def test_dead_worker_send_failure_drains_pool(self, job_workload):
+        with ShardedBackend(job_workload.spec, 2, database=job_workload.database) as backend:
+            by_worker = {0: [], 1: []}
+            for wq in job_workload.train:
+                by_worker[backend._route(wq.query.signature())].append(wq.query)
+            assert by_worker[0] and by_worker[1], "need traffic for both workers"
+            # Worker 1 dies mid-deployment (OOM-kill equivalent).
+            backend._procs[1].terminate()
+            backend._procs[1].join(timeout=10)
+            # A scatter touching both workers sends to 0, then fails on 1;
+            # the error path must drain worker 0's pending response.
+            with pytest.raises(RuntimeError):
+                backend.plan_many([by_worker[0][0], by_worker[1][0]])
+            # Worker 0 must still be aligned: a fresh request gets ITS
+            # response, not the drained call's stale one.
+            fresh = by_worker[0][1]
+            result = backend.plan_many([fresh])
+            local = job_workload.database.plan(fresh)
+            assert plan_signature(result[0].plan) == plan_signature(local.plan), (
+                "pool desynchronized after a partially-failed scatter"
+            )

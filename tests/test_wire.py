@@ -1,0 +1,108 @@
+"""Wire-format robustness: the framing layer must fail loudly, never lie.
+
+The contracts (see :mod:`repro.engine.wire`): a frame round-trips bytes
+exactly; a clean EOF at a frame boundary reads as ``None``; truncation
+mid-frame, a foreign magic and a crc mismatch raise
+``FrameCorruptionError`` before any payload byte is interpreted; a
+declared length above the cap raises ``FrameTooLargeError`` without
+buffering the payload; and the crc chaining used by both the wire format
+and the dataset fingerprint is length-prefixed so field boundaries cannot
+collide.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.engine.wire import (
+    HEADER_SIZE,
+    FrameCorruptionError,
+    FrameTooLargeError,
+    crc32_chain,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+def roundtrip(payload: bytes, **kwargs) -> bytes:
+    return read_frame(io.BytesIO(encode_frame(payload, **kwargs)), **kwargs)
+
+
+class TestRoundTrip:
+    def test_payload_roundtrips_bitwise(self):
+        for payload in (b"", b"x", b"hello world", bytes(range(256)) * 100):
+            assert roundtrip(payload) == payload
+
+    def test_multiple_frames_on_one_stream(self):
+        stream = io.BytesIO()
+        payloads = [b"first", b"", b"third frame"]
+        for payload in payloads:
+            write_frame(stream, payload)
+        stream.seek(0)
+        assert [read_frame(stream) for _ in payloads] == payloads
+        assert read_frame(stream) is None  # clean EOF at the boundary
+
+    def test_clean_eof_is_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        frame = encode_frame(b"payload")
+        for cut in (1, HEADER_SIZE - 1):
+            with pytest.raises(FrameCorruptionError, match="truncated frame header"):
+                read_frame(io.BytesIO(frame[:cut]))
+
+    def test_truncated_payload(self):
+        frame = encode_frame(b"payload bytes")
+        with pytest.raises(FrameCorruptionError, match="truncated frame payload"):
+            read_frame(io.BytesIO(frame[: HEADER_SIZE + 4]))
+
+    def test_corrupted_payload_crc_mismatch(self):
+        frame = bytearray(encode_frame(b"sensitive payload"))
+        frame[HEADER_SIZE + 3] ^= 0xFF  # flip one payload byte
+        with pytest.raises(FrameCorruptionError, match="crc mismatch"):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_corrupted_crc_field(self):
+        frame = bytearray(encode_frame(b"sensitive payload"))
+        frame[HEADER_SIZE - 1] ^= 0x01  # flip one checksum bit
+        with pytest.raises(FrameCorruptionError, match="crc mismatch"):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_bad_magic(self):
+        frame = b"XXXX" + encode_frame(b"payload")[4:]
+        with pytest.raises(FrameCorruptionError, match="magic"):
+            read_frame(io.BytesIO(frame))
+
+
+class TestOversize:
+    def test_reader_rejects_oversized_declared_length(self):
+        frame = encode_frame(b"x" * 100)
+        with pytest.raises(FrameTooLargeError):
+            read_frame(io.BytesIO(frame), max_frame_bytes=64)
+
+    def test_writer_refuses_oversized_payload(self):
+        stream = io.BytesIO()
+        with pytest.raises(FrameTooLargeError):
+            write_frame(stream, b"x" * 100, max_frame_bytes=64)
+        assert stream.getvalue() == b"", "nothing may reach the wire"
+
+    def test_too_large_is_a_corruption_error(self):
+        # Callers that only catch FrameCorruptionError still see the cap.
+        assert issubclass(FrameTooLargeError, FrameCorruptionError)
+
+
+class TestCrcChain:
+    def test_field_boundaries_do_not_collide(self):
+        # The raison d'être of length prefixing: same concatenation,
+        # different field split, different checksum.
+        a = crc32_chain(crc32_chain(0, b"ab"), b"c")
+        b = crc32_chain(crc32_chain(0, b"a"), b"bc")
+        assert a != b
+
+    def test_deterministic(self):
+        assert crc32_chain(7, b"field") == crc32_chain(7, b"field")
