@@ -20,13 +20,14 @@ tier-1 by ``testpaths``).
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 
 import numpy as np
 import pytest
-from bench_results import update_results
+from bench_results import RESULTS_PATH, update_results
 
 from repro.api import FossConfig, FossSession
 from repro.core.aam import AAMConfig
@@ -59,15 +60,16 @@ def serving_trace(workload) -> list:
     )]
 
 
-def drive(service, sqls, num_threads: int):
+def drive(service, sqls, num_threads: int, submit_kwargs=None):
     """(requests/sec, results) for ``num_threads`` submit+wait client threads."""
     results = [None] * len(sqls)
     errors = []
+    kwargs = submit_kwargs or {}
 
     def client(thread_index: int) -> None:
         try:
             for i in range(thread_index, len(sqls), num_threads):
-                ticket = service.submit(sqls[i])
+                ticket = service.submit(sqls[i], **kwargs)
                 results[i] = service.wait(ticket, timeout=WAIT_S)
         except Exception as exc:
             errors.append(repr(exc))
@@ -144,3 +146,75 @@ def test_serving_throughput():
         assert stats["requests"] == stats["served"] + stats["failures"]
         assert stats["failures"] == 0
         assert stats["pending"] == 0
+
+
+@pytest.mark.bench
+def test_admission_control_overhead():
+    """What the request-lifecycle machinery costs on the serving hot path.
+
+    The same threaded trace is driven twice: once through a bare service
+    (no queue bound, no contexts minted beyond the defaults) and once
+    with the full lifecycle engaged — ``max_pending`` admission checks on
+    every submit plus a generous per-request ``deadline_s`` (so every
+    budget check runs but nothing ever expires).  The ratio lands in the
+    ``serving.admission`` block of ``BENCH_throughput.json``.  No bound
+    is asserted — both numbers are lock-dominated on a 1-CPU box — only
+    the lifecycle accounting (nothing rejected, nothing expired, same
+    plans).
+    """
+    workload = build_job_workload(scale=BENCH_SCALE, seed=1)
+    sqls = serving_trace(workload)
+    with FossSession.open(workload=workload, config=serving_config()) as session:
+        reference = {
+            sql: plan_signature(session.service().optimize_sql(sql).plan)
+            for sql in set(sqls)
+        }
+
+        runs = {
+            "unguarded": (dict(), None),
+            "guarded": (
+                dict(max_pending=max(len(sqls), 1)),
+                dict(deadline_s=600.0, priority=0),
+            ),
+        }
+        rates = {}
+        stats = {}
+        for name, (service_kwargs, submit_kwargs) in runs.items():
+            service = session.service(max_batch_size=16, **service_kwargs)
+            with service.start(flush_interval_ms=2.0):
+                rates[name], results = drive(
+                    service, sqls, CLIENT_THREADS, submit_kwargs=submit_kwargs
+                )
+            stats[name] = service.stats()
+            assert [plan_signature(r.plan.plan) for r in results] == [
+                reference[sql] for sql in sqls
+            ]
+
+    guarded = stats["guarded"]
+    assert guarded["rejected"] == 0 and guarded["expired"] == 0
+    assert guarded["requests"] == guarded["served"]
+    overhead = rates["unguarded"] / rates["guarded"] if rates["guarded"] else 0.0
+
+    # Merge into the serving section without clobbering the throughput
+    # bench's keys (update_results replaces whole top-level sections).
+    existing_serving = {}
+    try:
+        existing_serving = json.loads(RESULTS_PATH.read_text()).get("serving", {})
+    except (ValueError, OSError):
+        pass
+    existing_serving["admission"] = {
+        "rps_unguarded": round(rates["unguarded"], 2),
+        "rps_guarded": round(rates["guarded"], 2),
+        "overhead_x": round(overhead, 3),
+        "max_pending": max(len(sqls), 1),
+        "deadline_s": 600.0,
+        "stage_total_p95_ms": round(guarded["stage_total_p95_ms"], 3),
+        "stage_queue_p95_ms": round(guarded["stage_queue_p95_ms"], 3),
+    }
+    update_results({"serving": existing_serving})
+
+    print(
+        f"\n=== admission/deadline overhead: unguarded "
+        f"{rates['unguarded']:.1f} req/s, guarded {rates['guarded']:.1f} "
+        f"req/s ({overhead:.3f}x) over {NUM_REQUESTS} requests ==="
+    )

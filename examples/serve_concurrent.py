@@ -99,7 +99,10 @@ def main() -> None:
 
         print(f"Serving {len(sqls)} requests from {args.threads} client threads "
               "through one started service...")
-        service = session.service(max_batch_size=8)
+        # max_pending bounds the queue (a full one raises a typed
+        # AdmissionRejectedError at submit); sized to the trace here so
+        # the demo exercises the check without ever rejecting.
+        service = session.service(max_batch_size=8, max_pending=max(len(sqls), 8))
         with service.start(flush_interval_ms=2.0):
             results, rps = drive_clients(
                 service.submit,
@@ -120,7 +123,12 @@ def main() -> None:
               "sequential path")
         print(f"  batches: {stats['batches']:.0f} "
               f"(mean occupancy {stats['mean_batch_occupancy']:.1f}), "
-              f"cache hit rate {stats['cache_hit_rate']:.0%}\n")
+              f"cache hit rate {stats['cache_hit_rate']:.0%}")
+        print(f"  lifecycle: {stats['expired']:.0f} expired, "
+              f"{stats['rejected']:.0f} rejected, stage p95 "
+              f"queue {stats['stage_queue_p95_ms']:.1f} ms / "
+              f"engine {stats['stage_engine_p95_ms']:.1f} ms / "
+              f"total {stats['stage_total_p95_ms']:.1f} ms\n")
 
     # ------------------------------------------------------------------
     # Part 2: two tenants over one shared engine pool
@@ -135,6 +143,7 @@ def main() -> None:
         seed=1,
         config=demo_config(),
         engine_workers=args.workers,
+        max_pending=max(args.requests, 8),  # per-tenant queue bound
     ) as group:
         group.start(flush_interval_ms=2.0)
         per_tenant = {}
@@ -159,6 +168,11 @@ def main() -> None:
             print(f"  {tenant}: {per_tenant[tenant]} requests served ok, "
                   f"cache hit rate {stats[tenant]['cache_hit_rate']:.0%}, "
                   f"p50 {stats[tenant]['latency_p50_ms']:.1f} ms")
+        rollup = stats["group"]
+        print(f"  group rollup: {rollup['requests']:.0f} requests "
+              f"({rollup['expired']:.0f} expired, {rollup['rejected']:.0f} "
+              f"rejected) across {rollup['tenants']:.0f} tenants, "
+              f"stage total p95 {rollup['stage_total_p95_ms']:.1f} ms")
         print(f"  shared backend: {stats['backend']}")
         group.stop()
     print("\nDone: concurrent and multi-tenant serving returned the same plans "

@@ -20,12 +20,20 @@ async backend:
   through one shared (thread-safe) engine pool — in-process, sharded, or
   a :class:`~repro.engine.remote.client.RemoteBackend` talking to a
   ``repro-engine`` server (``FossConfig.engine_url``);
+* :class:`RequestContext` — the typed envelope every request carries
+  across layers (request id, tenant, ``deadline_s`` budget, priority),
+  minted by the serving entry points unless the caller passes one;
+  deadlines propagate down to the engine backends and across the remote
+  wire, and each lifecycle stage is stamped for tracing;
 * :func:`create_optimizer` — named construction (``"foss"``,
   ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``, ``"hybridqo"``, plus
   anything registered via :func:`register_optimizer`);
 * :class:`OptimizeError` — the single typed failure for unparseable or
   unbindable input; :class:`TicketEvictedError` — the ticket was served
-  but its outcome aged out of the bounded results store.
+  but its outcome aged out of the bounded results store;
+  :class:`DeadlineExceededError` — a deadline budget ran out (counted as
+  ``expired``, never ``failures``); :class:`AdmissionRejectedError` — the
+  bounded pending queue was full at submit (counted as ``rejected``).
 
 Serving honors the repo's determinism contracts: plans are batch-size
 invariant, bitwise-identical across ``engine_workers`` counts, and
@@ -33,6 +41,15 @@ bitwise-identical under concurrent submission (only ordering and
 telemetry may differ between threaded and sequential serving).
 """
 
+from repro.api.context import (
+    CLOCK,
+    STAGES,
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    MonotonicClock,
+    RequestContext,
+    TraceHook,
+)
 from repro.api.group import ServiceGroup
 from repro.api.registry import available_optimizers, create_optimizer, register_optimizer
 from repro.api.service import (
@@ -52,6 +69,13 @@ __all__ = [
     "PlanTicket",
     "TicketEvictedError",
     "TicketResult",
+    "RequestContext",
+    "MonotonicClock",
+    "TraceHook",
+    "CLOCK",
+    "STAGES",
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
     "OptimizedPlan",
     "FossOptimizer",
     "FossConfig",

@@ -33,11 +33,18 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.api.context import RequestContext
 from repro.api.service import OptimizerService, PlanTicket, TicketResult
 from repro.api.session import FossSession
 from repro.core.trainer import FossConfig
 from repro.engine.backend import EngineBackend, make_backend
 from repro.workloads.base import Workload, build_workload_by_name
+
+# stats() adds synthetic top-level keys next to the per-tenant dicts, so
+# these names cannot also be tenants.
+RESERVED_TENANT_NAMES = ("backend", "group")
 
 
 class ServiceGroup:
@@ -48,18 +55,26 @@ class ServiceGroup:
         sessions: "OrderedDict[str, FossSession]",
         backend: EngineBackend,
         owns_backend: bool = True,
+        max_pending: Optional[int] = None,
     ) -> None:
         if not sessions:
             raise ValueError("ServiceGroup needs at least one tenant")
-        if "backend" in sessions:
-            raise ValueError(
-                "tenant name 'backend' is reserved (stats() uses it for the "
-                "shared pool's counters)"
-            )
+        for reserved in RESERVED_TENANT_NAMES:
+            if reserved in sessions:
+                raise ValueError(
+                    f"tenant name {reserved!r} is reserved (stats() uses it "
+                    f"for the shared pool's counters and the group rollup)"
+                )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.backend = backend
         self._owns_backend = owns_backend
         self._sessions = OrderedDict(sessions)
         self._services: Dict[str, OptimizerService] = {}
+        # Per-tenant queue-depth default, applied when each tenant's
+        # service is first built (explicit service(..., max_pending=...)
+        # kwargs win).
+        self.max_pending = max_pending
         self._lock = threading.Lock()  # guards lazy per-tenant service builds
         self._closed = False
 
@@ -78,6 +93,7 @@ class ServiceGroup:
         engine_workers: Optional[int] = None,
         engine_url: Optional[str] = None,
         backend: Optional[EngineBackend] = None,
+        max_pending: Optional[int] = None,
     ) -> "ServiceGroup":
         """Stand up one workload + engine pool and a session per tenant.
 
@@ -101,12 +117,13 @@ class ServiceGroup:
             tenant_configs = OrderedDict((name, base_config) for name in names)
         if not tenant_configs:
             raise ValueError("ServiceGroup.open needs at least one tenant name")
-        if "backend" in tenant_configs:
-            # Validate before paying for the dataset build and worker pool.
-            raise ValueError(
-                "tenant name 'backend' is reserved (stats() uses it for the "
-                "shared pool's counters)"
-            )
+        for reserved in RESERVED_TENANT_NAMES:
+            if reserved in tenant_configs:
+                # Validate before paying for the dataset build and worker pool.
+                raise ValueError(
+                    f"tenant name {reserved!r} is reserved (stats() uses it "
+                    f"for the shared pool's counters and the group rollup)"
+                )
         if isinstance(workload, str):
             workload = build_workload_by_name(workload, scale=scale, seed=seed)
         elif not isinstance(workload, Workload):
@@ -123,7 +140,9 @@ class ServiceGroup:
             sessions[name] = FossSession.open(
                 workload=workload, config=tenant_config, backend=backend
             )
-        return cls(sessions, backend, owns_backend=owns_backend)
+        return cls(
+            sessions, backend, owns_backend=owns_backend, max_pending=max_pending
+        )
 
     # ------------------------------------------------------------------
     # tenants
@@ -143,9 +162,11 @@ class ServiceGroup:
     def service(self, tenant: str, **kwargs) -> OptimizerService:
         """The tenant's :class:`OptimizerService`, built on first use.
 
-        ``kwargs`` (memo/results capacities, batch size, flush interval)
-        apply only on the first call for a tenant — the built service is
-        cached and shared by every later caller.
+        ``kwargs`` (memo/results capacities, batch size, flush interval,
+        queue depth) apply only on the first call for a tenant — the built
+        service is cached and shared by every later caller.  The tenant's
+        name and the group's ``max_pending`` default are injected unless
+        the kwargs override them.
         """
         session = self.session(tenant)  # raises on unknown tenants
         with self._lock:
@@ -153,6 +174,9 @@ class ServiceGroup:
             existing = self._services.get(tenant)
         if existing is not None:
             return existing
+        kwargs.setdefault("tenant", tenant)
+        if self.max_pending is not None:
+            kwargs.setdefault("max_pending", self.max_pending)
         # Build outside the group lock: the first build pays the session's
         # lazy optimizer construction, and other tenants' requests must not
         # stall behind it.  A concurrent duplicate build loses to
@@ -166,8 +190,17 @@ class ServiceGroup:
     # ------------------------------------------------------------------
     # serving conveniences (thread-safe via the per-tenant services)
     # ------------------------------------------------------------------
-    def submit(self, tenant: str, sql: str) -> PlanTicket:
-        return self.service(tenant).submit(sql)
+    def submit(
+        self,
+        tenant: str,
+        sql: str,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+        priority: int = 0,
+    ) -> PlanTicket:
+        return self.service(tenant).submit(
+            sql, ctx=ctx, deadline_s=deadline_s, priority=priority
+        )
 
     def result(self, tenant: str, ticket, timeout: Optional[float] = None) -> TicketResult:
         return self.service(tenant).result(ticket, timeout=timeout)
@@ -175,11 +208,26 @@ class ServiceGroup:
     def wait(self, tenant: str, ticket, timeout: Optional[float] = None) -> TicketResult:
         return self.service(tenant).wait(ticket, timeout=timeout)
 
-    def optimize_sql(self, tenant: str, sql: str):
-        return self.service(tenant).optimize_sql(sql)
+    def optimize_sql(
+        self,
+        tenant: str,
+        sql: str,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+    ):
+        return self.service(tenant).optimize_sql(sql, ctx=ctx, deadline_s=deadline_s)
 
-    def execute_sql(self, tenant: str, sql: str, timeout_ms: Optional[float] = None):
-        return self.service(tenant).execute_sql(sql, timeout_ms=timeout_ms)
+    def execute_sql(
+        self,
+        tenant: str,
+        sql: str,
+        timeout_ms: Optional[float] = None,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+    ):
+        return self.service(tenant).execute_sql(
+            sql, timeout_ms=timeout_ms, ctx=ctx, deadline_s=deadline_s
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -207,13 +255,55 @@ class ServiceGroup:
         if first_error is not None:
             raise first_error
 
+    # Counters summed across tenants into the "group" rollup.
+    _ROLLUP_COUNTERS = (
+        "requests",
+        "served",
+        "failures",
+        "expired",
+        "rejected",
+        "pending",
+        "cache_hits",
+        "cache_misses",
+        "results_evicted",
+        "batches",
+    )
+
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-tenant serving stats plus the shared backend's counters."""
+        """Per-tenant serving stats plus two synthetic entries.
+
+        ``"backend"`` carries the shared pool's counters, and ``"group"``
+        is the cross-tenant rollup: lifecycle counters summed over every
+        built tenant service and stage percentiles recomputed over the
+        *pooled* per-request windows (percentiles cannot be averaged
+        per-tenant without bias).
+        """
         with self._lock:
             services = dict(self._services)
         out: Dict[str, Dict[str, float]] = {
             tenant: service.stats() for tenant, service in services.items()
         }
+        rollup: Dict[str, float] = {
+            counter: float(
+                sum(stats.get(counter, 0) for stats in out.values())
+            )
+            for counter in self._ROLLUP_COUNTERS
+        }
+        rollup["cache_hit_rate"] = (
+            rollup["cache_hits"] / rollup["served"] if rollup["served"] else 0.0
+        )
+        pooled: Dict[str, List[float]] = {}
+        for service in services.values():
+            for stage, window in service.stage_latencies().items():
+                pooled.setdefault(stage, []).extend(window)
+        for stage, window in pooled.items():
+            data = np.asarray(window, dtype=float)
+            for pct in (50, 95, 99):
+                rollup[f"stage_{stage}_p{pct}_ms"] = (
+                    float(np.percentile(data, pct)) if data.size else 0.0
+                )
+        rollup["tenants"] = float(len(services))
+        out["group"] = rollup
         out["backend"] = self.backend.stats()
         return out
 

@@ -39,18 +39,45 @@ paths raise it, the ticket path maps it onto a failed ticket.  A ticket
 whose outcome aged out of the bounded results store raises
 :class:`TicketEvictedError` (distinct from the ``ValueError`` a
 never-issued ticket id gets).
+
+Every request carries a :class:`~repro.api.context.RequestContext`
+(minted by ``submit``/``optimize_sql`` unless the caller passes one):
+
+* **admission control** — with ``max_pending`` set, ``submit`` raises
+  :class:`~repro.api.context.AdmissionRejectedError` before issuing a
+  ticket once the queue is full (counted as ``rejected``);
+* **deadlines** — a request whose ``deadline_s`` budget ran out is
+  resolved as an ``"expired"`` ticket (counted as ``expired``, never
+  ``failures``): at submit time without ever binding, at flush time
+  before it enters a cohort, or mid-batch by the optimizer/backend;
+* **tracing** — the lifecycle stages (``enqueue → flush → engine →
+  done``) are stamped onto each ticket's trace, observed by an optional
+  ``trace_hook``, and surfaced as per-stage p50/p95/p99 in
+  :meth:`~OptimizerService.stats`.
+
+Requests with no deadline take the exact pre-context code path through
+the optimizer, so their plans stay bitwise-identical.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.context import (
+    CLOCK,
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    MonotonicClock,
+    RequestContext,
+    TraceHook,
+)
 from repro.core.inference import OptimizedPlan, OptimizeError, bind_sql
 from repro.engine.backend import EngineBackend
 from repro.executor.engine import ExecutionResult
@@ -65,6 +92,10 @@ _LATENCY_WINDOW = 10_000  # per-request latencies kept for percentile stats
 # in-flight flush; the bound turns a deadlocked flusher into a loud
 # TimeoutError instead of a hang.
 _RESULT_WAIT_S = 60.0
+# The per-request trace is exposed as stage *durations*: time queued
+# behind the flusher, time inside the optimizer/engine, time finalizing
+# outcomes, and the end-to-end total.
+_STAGE_NAMES = ("queue", "engine", "finalize", "total")
 
 
 class TicketEvictedError(ValueError):
@@ -84,22 +115,33 @@ class PlanTicket:
 
     ticket_id: int
     sql: str
+    context: Optional[RequestContext] = None
 
 
 @dataclass
 class TicketResult:
-    """The outcome of one submitted request."""
+    """The outcome of one submitted request.
+
+    ``trace`` maps each lifecycle stage the request reached (``enqueue``,
+    ``flush``, ``engine``, ``done``) to its monotonic timestamp.
+    """
 
     ticket_id: int
     sql: str
-    status: str  # "done" | "failed"
+    status: str  # "done" | "failed" | "expired"
     plan: Optional[OptimizedPlan] = None
     error: Optional[str] = None
     cached: bool = False
+    context: Optional[RequestContext] = None
+    trace: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == "done"
+
+    @property
+    def expired(self) -> bool:
+        return self.status == "expired"
 
 
 class OptimizerService:
@@ -125,6 +167,10 @@ class OptimizerService:
         results_capacity: int = DEFAULT_RESULTS_CAPACITY,
         flush_interval_ms: float = DEFAULT_FLUSH_INTERVAL_MS,
         optimize_lock: Optional[threading.Lock] = None,
+        max_pending: Optional[int] = None,
+        tenant: str = "",
+        clock: Optional[MonotonicClock] = None,
+        trace_hook: Optional[TraceHook] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -132,12 +178,22 @@ class OptimizerService:
             raise ValueError("results_capacity must be >= 1")
         if flush_interval_ms <= 0:
             raise ValueError("flush_interval_ms must be > 0")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.optimizer = optimizer
         self.backend = backend
         self.max_batch_size = max_batch_size
         self.memo_capacity = memo_capacity
         self.results_capacity = results_capacity
         self.flush_interval_ms = flush_interval_ms
+        # Admission control: submit() rejects (typed, before a ticket is
+        # issued) once this many requests are queued.  None = unbounded,
+        # the pre-context behavior.
+        self.max_pending = max_pending
+        # Stamped onto every context this service mints.
+        self.tenant = tenant
+        self.clock = clock if clock is not None else CLOCK
+        self.trace_hook = trace_hook
         # _lock guards every piece of serving state below; _wakeup (same
         # underlying lock) is how submit() pokes the flusher on a size
         # trigger.  _optimize_lock serializes calls into the optimizer —
@@ -153,7 +209,9 @@ class OptimizerService:
         self._flusher_thread: Optional[threading.Thread] = None
         self._stop_requested = False
         self._memo: "OrderedDict[str, OptimizedPlan]" = OrderedDict()
-        self._pending: List[Tuple[int, str, Query]] = []
+        # (ticket_id, sql, query, ctx, trace) — trace is the mutable stage
+        # stamp dict that ends up on the TicketResult.
+        self._pending: List[Tuple[int, str, Query, Optional[RequestContext], Dict[str, float]]] = []
         self._pending_ids: set = set()  # O(1) "is it queued?" for result()/wait()
         # Bounded like every other store: oldest outcomes age out, so a
         # long-running service cannot leak one TicketResult per request.
@@ -171,7 +229,15 @@ class OptimizerService:
         self._hits = 0
         self._misses = 0
         self._failures = 0
+        self._expired = 0
+        self._rejected = 0
         self._result_evictions = 0
+        self._stage_latencies_ms: Dict[str, List[float]] = {
+            stage: [] for stage in _STAGE_NAMES
+        }
+        # Whether optimizer.optimize_many accepts a ctxs kwarg; probed
+        # lazily (inspect.signature) and cached.
+        self._many_accepts_ctxs: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # background flusher lifecycle
@@ -268,13 +334,69 @@ class OptimizerService:
     # ------------------------------------------------------------------
     # ticketed (micro-batched) path
     # ------------------------------------------------------------------
-    def submit(self, sql: str) -> PlanTicket:
-        """Enqueue SQL text; binding failures become failed tickets."""
+    def submit(
+        self,
+        sql: str,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+        priority: int = 0,
+    ) -> PlanTicket:
+        """Enqueue SQL text; binding failures become failed tickets.
+
+        A context is minted (tenant/deadline/priority) unless the caller
+        passes one; ``deadline_s``/``priority`` are ignored when ``ctx``
+        is given.  With ``max_pending`` set, a full queue raises
+        :class:`AdmissionRejectedError` *before* a ticket is issued.  A
+        context whose deadline already passed is resolved as an
+        ``"expired"`` ticket immediately — the SQL is never even bound,
+        so an expired submit costs no engine work at all.
+        """
+        if ctx is None:
+            ctx = RequestContext.mint(
+                tenant=self.tenant,
+                deadline_s=deadline_s,
+                priority=priority,
+                clock=self.clock,
+            )
+        now = self.clock.now()
         with self._lock:
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                self._rejected += 1
+                raise AdmissionRejectedError(
+                    f"pending queue is full ({len(self._pending)} >= "
+                    f"max_pending={self.max_pending}); back off and retry"
+                )
             ticket_id = self._next_ticket
             self._next_ticket += 1
             self._events[ticket_id] = threading.Event()
-        ticket = PlanTicket(ticket_id, sql)
+        ticket = PlanTicket(ticket_id, sql, context=ctx)
+        trace = {"enqueue": now}
+        self._trace(ctx, "enqueue", now)
+        if ctx.expired(now):
+            # Rejected at the api layer: no bind, no engine call.
+            done = self.clock.now()
+            trace["done"] = done
+            self._trace(ctx, "done", done)
+            with self._lock:
+                self._expired += 1
+                self._record_stage("total", (done - now) * 1000.0)
+                self._store_result(
+                    TicketResult(
+                        ticket_id,
+                        sql,
+                        "expired",
+                        error=(
+                            f"request {ctx.request_id} exceeded its "
+                            f"{ctx.deadline_s}s deadline before submission"
+                        ),
+                        context=ctx,
+                        trace=trace,
+                    )
+                )
+            return ticket
         try:
             # Outside the service lock: binding goes through the (itself
             # thread-safe) backend and must not stall other submitters.
@@ -283,7 +405,9 @@ class OptimizerService:
             with self._lock:
                 self._failures += 1
                 self._store_result(
-                    TicketResult(ticket_id, sql, "failed", error=str(exc))
+                    TicketResult(
+                        ticket_id, sql, "failed", error=str(exc), context=ctx, trace=trace
+                    )
                 )
             return ticket
         except BaseException:
@@ -295,7 +419,7 @@ class OptimizerService:
             raise
         flush_inline = False
         with self._lock:
-            self._pending.append((ticket_id, sql, query))
+            self._pending.append((ticket_id, sql, query, ctx, trace))
             self._pending_ids.add(ticket_id)
             if len(self._pending) >= self.max_batch_size:
                 if self._flusher_alive():
@@ -305,6 +429,16 @@ class OptimizerService:
         if flush_inline:
             self.flush()
         return ticket
+
+    def _trace(self, ctx: Optional[RequestContext], stage: str, timestamp: float) -> None:
+        """Feed one stage stamp to the trace hook; hooks can never raise out."""
+        hook = self.trace_hook
+        if hook is None or ctx is None:
+            return
+        try:
+            hook(ctx, stage, timestamp)
+        except Exception:
+            pass
 
     def result(self, ticket, timeout: Optional[float] = None) -> TicketResult:
         """The outcome for a ticket, flushing the queue if still pending.
@@ -395,9 +529,60 @@ class OptimizerService:
         with self._lock:
             if not self._pending:
                 return False
+            # Priority-aware slicing, only when some queued request asked
+            # for it: the sort is stable, so equal priorities keep strict
+            # submission order and the all-default path stays
+            # order-identical to pre-context serving.
+            if any(
+                entry[3] is not None and entry[3].priority for entry in self._pending
+            ):
+                self._pending.sort(
+                    key=lambda entry: -(entry[3].priority if entry[3] is not None else 0)
+                )
             pending = self._pending[: self.max_batch_size]
             del self._pending[: self.max_batch_size]
             self._pending_ids.difference_update(entry[0] for entry in pending)
+
+        # Deadline drop at flush time: a budget that ran out while the
+        # request sat behind the flusher resolves as "expired" here — the
+        # optimizer never sees the query.
+        t_flush = self.clock.now()
+        live: List[Tuple[int, str, Query, Optional[RequestContext], Dict[str, float]]] = []
+        dropped: List[Tuple[int, str, Query, Optional[RequestContext], Dict[str, float]]] = []
+        for entry in pending:
+            ctx, trace = entry[3], entry[4]
+            trace["flush"] = t_flush
+            self._trace(ctx, "flush", t_flush)
+            if ctx is not None and ctx.expired(t_flush):
+                dropped.append(entry)
+            else:
+                live.append(entry)
+        if dropped:
+            done = self.clock.now()
+            with self._lock:
+                for ticket_id, sql, _query, ctx, trace in dropped:
+                    trace["done"] = done
+                    self._expired += 1
+                    self._record_stage("queue", (t_flush - trace["enqueue"]) * 1000.0)
+                    self._record_stage("total", (done - trace["enqueue"]) * 1000.0)
+                    self._store_result(
+                        TicketResult(
+                            ticket_id,
+                            sql,
+                            "expired",
+                            error=(
+                                f"request {ctx.request_id} exceeded its "
+                                f"{ctx.deadline_s}s deadline while queued"
+                            ),
+                            context=ctx,
+                            trace=trace,
+                        )
+                    )
+            for _ticket_id, _sql, _query, ctx, trace in dropped:
+                self._trace(ctx, "done", trace["done"])
+        pending = live
+        if not pending:
+            return True
 
         # Bound before the try: the hardening below reads them even when
         # the dedup phase itself is what raised.
@@ -409,10 +594,12 @@ class OptimizerService:
                 # submissions of the same query cost one optimization at
                 # most.  Hit plans are snapshotted here — the memo may
                 # evict them while this flush's own misses are memoized
-                # below.
+                # below.  The first requester's context rides with each
+                # unique signature into the optimizer.
                 unique: "OrderedDict[str, Query]" = OrderedDict()
+                unique_ctxs: Dict[str, Optional[RequestContext]] = {}
                 hit_signatures = set()
-                for _ticket_id, _sql, query in pending:
+                for _ticket_id, _sql, query, ctx, _trace in pending:
                     signature = query.signature()
                     signatures.append(signature)
                     if signature in resolved or signature in unique:
@@ -424,17 +611,29 @@ class OptimizerService:
                         hit_signatures.add(signature)
                     else:
                         unique[signature] = query
+                        unique_ctxs[signature] = ctx
                 if unique:
                     self._record_batch(len(unique))
 
             start = time.perf_counter()
-            outcomes = self._optimize_queries(list(unique.values())) if unique else []
+            outcomes = (
+                self._optimize_queries(
+                    list(unique.values()),
+                    [unique_ctxs[signature] for signature in unique],
+                )
+                if unique
+                else []
+            )
             if len(outcomes) != len(unique):
                 raise RuntimeError(
                     f"optimizer returned {len(outcomes)} outcomes for "
                     f"{len(unique)} queries"
                 )
             elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(pending)
+            t_engine = self.clock.now()
+            for _ticket_id, _sql, _query, ctx, trace in pending:
+                trace["engine"] = t_engine
+                self._trace(ctx, "engine", t_engine)
 
             with self._lock:
                 for signature, outcome in zip(unique, outcomes):
@@ -445,11 +644,20 @@ class OptimizerService:
                 # Per-request accounting: a memo hit or a duplicate of an
                 # earlier request in this flush is a hit (``cached`` — it
                 # rode along for free), the first successful resolution of
-                # a signature is a miss, and every request whose outcome
-                # is an error is a failure.
+                # a signature is a miss, a deadline that ran out inside
+                # the batch is expired, and every other error outcome is a
+                # failure.
+                t_done = self.clock.now()
                 first_seen = set()
-                for (ticket_id, sql, _query), signature in zip(pending, signatures):
+                for (ticket_id, sql, _query, ctx, trace), signature in zip(
+                    pending, signatures
+                ):
                     self._record_latency(elapsed_ms)
+                    trace["done"] = t_done
+                    self._record_stage("queue", (t_flush - trace["enqueue"]) * 1000.0)
+                    self._record_stage("engine", (t_engine - t_flush) * 1000.0)
+                    self._record_stage("finalize", (t_done - t_engine) * 1000.0)
+                    self._record_stage("total", (t_done - trace["enqueue"]) * 1000.0)
                     outcome = resolved[signature]
                     if isinstance(outcome, OptimizedPlan):
                         cached = signature in hit_signatures or signature in first_seen
@@ -460,17 +668,44 @@ class OptimizerService:
                             self._misses += 1
                         self._store_result(
                             TicketResult(
-                                ticket_id, sql, "done", plan=outcome, cached=cached
+                                ticket_id,
+                                sql,
+                                "done",
+                                plan=outcome,
+                                cached=cached,
+                                context=ctx,
+                                trace=trace,
+                            )
+                        )
+                    elif isinstance(outcome, DeadlineExceededError):
+                        self._expired += 1
+                        self._store_result(
+                            TicketResult(
+                                ticket_id,
+                                sql,
+                                "expired",
+                                error=str(outcome),
+                                context=ctx,
+                                trace=trace,
                             )
                         )
                     else:
                         self._failures += 1
                         self._store_result(
-                            TicketResult(ticket_id, sql, "failed", error=str(outcome))
+                            TicketResult(
+                                ticket_id,
+                                sql,
+                                "failed",
+                                error=str(outcome),
+                                context=ctx,
+                                trace=trace,
+                            )
                         )
+            for _ticket_id, _sql, _query, ctx, trace in pending:
+                self._trace(ctx, "done", trace["done"])
         except BaseException as exc:
             with self._lock:
-                for index, (ticket_id, sql, _query) in enumerate(pending):
+                for index, (ticket_id, sql, _query, ctx, trace) in enumerate(pending):
                     if ticket_id not in self._events:
                         continue  # outcome already stored before the failure
                     outcome = resolved.get(signatures[index]) if index < len(signatures) else None
@@ -480,14 +715,25 @@ class OptimizerService:
                         self._hits += 1
                         self._store_result(
                             TicketResult(
-                                ticket_id, sql, "done", plan=outcome, cached=True
+                                ticket_id,
+                                sql,
+                                "done",
+                                plan=outcome,
+                                cached=True,
+                                context=ctx,
+                                trace=trace,
                             )
                         )
                     else:
                         self._failures += 1
                         self._store_result(
                             TicketResult(
-                                ticket_id, sql, "failed", error=f"flush failed: {exc!r}"
+                                ticket_id,
+                                sql,
+                                "failed",
+                                error=f"flush failed: {exc!r}",
+                                context=ctx,
+                                trace=trace,
                             )
                         )
             raise
@@ -496,15 +742,68 @@ class OptimizerService:
     # ------------------------------------------------------------------
     # synchronous path
     # ------------------------------------------------------------------
-    def optimize_sql(self, sql: str) -> OptimizedPlan:
-        """SQL text → parse/bind → steered plan; raises :class:`OptimizeError`."""
-        return self._optimize_query(self._bind_counted(sql))
+    def optimize_sql(
+        self,
+        sql: str,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+    ) -> OptimizedPlan:
+        """SQL text → parse/bind → steered plan; raises :class:`OptimizeError`.
 
-    def execute_sql(self, sql: str, timeout_ms: Optional[float] = None) -> ExecutionResult:
-        """Optimize SQL text and execute the chosen plan on the backend."""
+        A context is minted when ``deadline_s`` is given (ignored if the
+        caller passes ``ctx``); an exhausted budget raises
+        :class:`DeadlineExceededError`, counted as ``expired``.
+        """
+        ctx = self._mint_sync_ctx(ctx, deadline_s)
+        self._check_sync_deadline(ctx, "binding")
+        return self._optimize_query(self._bind_counted(sql), ctx)
+
+    def execute_sql(
+        self,
+        sql: str,
+        timeout_ms: Optional[float] = None,
+        ctx: Optional[RequestContext] = None,
+        deadline_s: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Optimize SQL text and execute the chosen plan on the backend.
+
+        A remaining deadline budget caps the execution timeout: the
+        effective ``timeout_ms`` is the smaller of the caller's and what
+        is left of ``ctx``'s budget.
+        """
+        ctx = self._mint_sync_ctx(ctx, deadline_s)
+        self._check_sync_deadline(ctx, "binding")
         query = self._bind_counted(sql)
-        optimized = self._optimize_query(query)
-        return self.backend.execute(query, optimized.plan, timeout_ms=timeout_ms)
+        optimized = self._optimize_query(query, ctx)
+        self._check_sync_deadline(ctx, "execution")
+        effective_ms = timeout_ms
+        if ctx is not None:
+            remaining = ctx.remaining_s(self.clock.now())
+            if remaining is not None:
+                budget_ms = remaining * 1000.0
+                effective_ms = (
+                    budget_ms if timeout_ms is None else min(timeout_ms, budget_ms)
+                )
+        return self.backend.execute(query, optimized.plan, timeout_ms=effective_ms)
+
+    def _mint_sync_ctx(
+        self, ctx: Optional[RequestContext], deadline_s: Optional[float]
+    ) -> Optional[RequestContext]:
+        if ctx is not None or deadline_s is None:
+            return ctx
+        return RequestContext.mint(
+            tenant=self.tenant, deadline_s=deadline_s, clock=self.clock
+        )
+
+    def _check_sync_deadline(self, ctx: Optional[RequestContext], what: str) -> None:
+        if ctx is None or not ctx.expired(self.clock.now()):
+            return
+        with self._lock:
+            self._expired += 1
+        raise DeadlineExceededError(
+            f"request {ctx.request_id} exceeded its {ctx.deadline_s}s "
+            f"deadline before {what}"
+        )
 
     def _bind_counted(self, sql: str) -> Query:
         try:
@@ -514,7 +813,9 @@ class OptimizerService:
                 self._failures += 1
             raise
 
-    def _optimize_query(self, query: Query) -> OptimizedPlan:
+    def _optimize_query(
+        self, query: Query, ctx: Optional[RequestContext] = None
+    ) -> OptimizedPlan:
         start = time.perf_counter()
         signature = query.signature()
         with self._lock:
@@ -528,10 +829,12 @@ class OptimizerService:
         # Two threads missing the same signature both optimize; the plans
         # are identical (the optimizer is deterministic), so the double
         # memoization below is a harmless overwrite.
-        outcome = self._optimize_queries([query])[0]
+        outcome = self._optimize_queries([query], None if ctx is None else [ctx])[0]
         with self._lock:
             self._record_latency((time.perf_counter() - start) * 1000.0)
-            if isinstance(outcome, OptimizeError):
+            if isinstance(outcome, DeadlineExceededError):
+                self._expired += 1
+            elif isinstance(outcome, OptimizeError):
                 self._failures += 1
             else:
                 self._misses += 1
@@ -547,7 +850,9 @@ class OptimizerService:
     def _ticket_id(ticket) -> int:
         return ticket.ticket_id if isinstance(ticket, PlanTicket) else int(ticket)
 
-    def _optimize_queries(self, queries: Sequence[Query]) -> List[object]:
+    def _optimize_queries(
+        self, queries: Sequence[Query], ctxs=None
+    ) -> List[object]:
         """Optimize queries, returning an OptimizedPlan or OptimizeError each.
 
         Serialized on ``_optimize_lock``: the optimizer's episode runners
@@ -556,21 +861,67 @@ class OptimizerService:
         single bad query cannot fail its whole cohort (plans are
         batch-size invariant, so the fallback returns the same plans the
         batch would have).
+
+        ``ctxs`` (aligned with ``queries``) threads deadlines into the
+        optimizer: a context-aware ``optimize_many`` (the FOSS
+        optimizer's) gets them directly; otherwise the service checks
+        budgets itself and slots a :class:`DeadlineExceededError` for
+        items that expired.  All-``None`` contexts are normalized away so
+        the no-deadline path is byte-for-byte the pre-context call.
         """
+        if ctxs is not None and not any(ctx is not None for ctx in ctxs):
+            ctxs = None
         with self._optimize_lock:
             many = getattr(self.optimizer, "optimize_many", None)
             if many is not None:
                 try:
+                    if ctxs is not None:
+                        if self._optimizer_accepts_ctxs(many):
+                            return list(many(queries, ctxs=ctxs))
+                        return self._optimize_split_expired(many, queries, ctxs)
                     return list(many(queries))
                 except OptimizeError:
                     pass
             outcomes: List[object] = []
-            for query in queries:
+            for index, query in enumerate(queries):
+                ctx = ctxs[index] if ctxs is not None else None
+                if ctx is not None and ctx.expired():
+                    outcomes.append(self._deadline_error(ctx))
+                    continue
                 try:
                     outcomes.append(self.optimizer.optimize(query))
                 except OptimizeError as exc:
                     outcomes.append(exc)
             return outcomes
+
+    def _optimizer_accepts_ctxs(self, many) -> bool:
+        """Whether ``optimize_many`` takes a ``ctxs`` kwarg (probed once)."""
+        if self._many_accepts_ctxs is None:
+            try:
+                self._many_accepts_ctxs = "ctxs" in inspect.signature(many).parameters
+            except (TypeError, ValueError):  # builtins/C callables
+                self._many_accepts_ctxs = False
+        return self._many_accepts_ctxs
+
+    def _optimize_split_expired(self, many, queries: Sequence[Query], ctxs) -> List[object]:
+        """Batch path for optimizers without ``ctxs``: the service drops
+        expired items itself and batches the live remainder."""
+        expired = [ctx is not None and ctx.expired() for ctx in ctxs]
+        if not any(expired):
+            return list(many(queries))
+        live = [query for query, dead in zip(queries, expired) if not dead]
+        live_results = iter(many(live) if live else [])
+        return [
+            self._deadline_error(ctx) if dead else next(live_results)
+            for dead, ctx in zip(expired, ctxs)
+        ]
+
+    @staticmethod
+    def _deadline_error(ctx: RequestContext) -> DeadlineExceededError:
+        return DeadlineExceededError(
+            f"request {ctx.request_id} exceeded its {ctx.deadline_s}s "
+            f"deadline before optimization began"
+        )
 
     def _store_result(self, result: TicketResult) -> None:
         # Caller holds _lock.
@@ -606,14 +957,40 @@ class OptimizerService:
         if len(self._latencies_ms) > _LATENCY_WINDOW:
             del self._latencies_ms[: -_LATENCY_WINDOW]
 
+    def _record_stage(self, stage: str, duration_ms: float) -> None:
+        # Caller holds _lock.  Clamped at 0: stage stamps come from
+        # separate clock reads, and a sub-resolution interval must not
+        # surface as a negative latency.
+        window = self._stage_latencies_ms[stage]
+        window.append(max(0.0, duration_ms))
+        if len(window) > _LATENCY_WINDOW:
+            del window[: -_LATENCY_WINDOW]
+
+    def stage_latencies(self) -> Dict[str, List[float]]:
+        """A snapshot of the per-stage duration windows (ms), for rollups."""
+        with self._lock:
+            return {stage: list(window) for stage, window in self._stage_latencies_ms.items()}
+
     # ------------------------------------------------------------------
     # telemetry
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
-        """Serving telemetry: latencies, batching, memoization."""
+        """Serving telemetry: latencies, batching, memoization, lifecycle.
+
+        ``requests = served + failures + expired``; ``rejected`` counts
+        admission-control refusals, which never became requests at all.
+        Per-stage percentiles (``stage_queue_p50_ms`` …) cover the four
+        lifecycle durations: queued behind the flusher, inside the
+        optimizer/engine, finalizing outcomes, and end-to-end total.
+        """
         with self._lock:
             latencies = np.asarray(self._latencies_ms, dtype=float)
             hits, misses, failures = self._hits, self._misses, self._failures
+            expired, rejected = self._expired, self._rejected
+            stage_windows = {
+                stage: np.asarray(window, dtype=float)
+                for stage, window in self._stage_latencies_ms.items()
+            }
             pending = len(self._pending)
             memo_size = len(self._memo)
             batch_count = self._batch_count
@@ -622,11 +999,20 @@ class OptimizerService:
             evictions = self._result_evictions
             started = self._flusher_alive()
         served = hits + misses
+        stage_stats: Dict[str, float] = {}
+        for stage, window in stage_windows.items():
+            for pct in (50, 95, 99):
+                stage_stats[f"stage_{stage}_p{pct}_ms"] = (
+                    float(np.percentile(window, pct)) if window.size else 0.0
+                )
         return {
-            "requests": served + failures,
+            "requests": served + failures + expired,
             "served": served,
             "failures": failures,
+            "expired": expired,
+            "rejected": rejected,
             "pending": pending,
+            **stage_stats,
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_rate": hits / served if served else 0.0,

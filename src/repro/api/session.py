@@ -150,7 +150,9 @@ class FossSession:
 
         Every service built here shares one optimize lock, so concurrent
         use of several services over this session's (single-flight)
-        optimizer stays serialized.
+        optimizer stays serialized.  ``kwargs`` pass through to the
+        service — including the request-lifecycle knobs (``max_pending``,
+        ``tenant``, ``clock``, ``trace_hook``).
         """
         from repro.api.service import OptimizerService
 

@@ -41,6 +41,17 @@ class OptimizeError(RuntimeError):
     """
 
 
+class DeadlineExceededError(OptimizeError):
+    """A request's deadline budget ran out before its work could start.
+
+    Defined here — below the api package — so the engine layer can raise
+    it without importing upward; re-exported by :mod:`repro.api.context`,
+    which is where serving callers import it from.  Subclasses
+    :class:`OptimizeError` so existing handlers degrade gracefully, but
+    the serving layer counts it as ``expired``, never ``failures``.
+    """
+
+
 def bind_sql(database: EngineBackend, text: str, name: str = "") -> Query:
     """Parse + bind SQL text through the engine, with typed failure.
 
@@ -195,24 +206,62 @@ class FossOptimizer:
         ]
 
     # ------------------------------------------------------------------
-    def optimize(self, query) -> OptimizedPlan:
+    def optimize(self, query, ctx=None) -> OptimizedPlan:
         """Produce the estimated-optimal plan for the query.
 
         Accepts a bound :class:`Query` or raw SQL text; unparseable or
-        unbindable text raises :class:`OptimizeError`.
+        unbindable text raises :class:`OptimizeError`.  A
+        :class:`~repro.api.context.RequestContext` whose deadline already
+        passed raises :class:`DeadlineExceededError` before any episode
+        runs.
         """
+        if ctx is not None and ctx.expired():
+            raise DeadlineExceededError(
+                f"request {ctx.request_id} exceeded its {ctx.deadline_s}s "
+                f"deadline before optimization began"
+            )
         return self.optimize_many([query])[0]
 
-    def optimize_many(self, queries: Sequence) -> List[OptimizedPlan]:
+    def optimize_many(self, queries: Sequence, ctxs=None) -> List[OptimizedPlan]:
         """Optimize a batch of queries, amortizing every forward pass.
 
         Each agent runs all queries' episodes in lockstep cohorts; the
         per-query agent tournaments are then resolved with one batched
         advantage flush.  Per-query optimization time is the batch wall
         clock divided evenly — the paper's metric, amortized.
+
+        ``ctxs`` (aligned with ``queries``) opts into deadline checking:
+        queries whose context already expired never enter a cohort — their
+        slot in the returned list holds a :class:`DeadlineExceededError`
+        instead of an :class:`OptimizedPlan` (callers that pass ``ctxs``
+        must check).  Without ``ctxs`` (or with no expired entries) the
+        batch is processed exactly as before, so plans stay bitwise
+        identical to pre-context serving.
         """
         if not queries:
             return []
+        if ctxs is not None:
+            if len(ctxs) != len(queries):
+                raise ValueError(
+                    f"ctxs length {len(ctxs)} != queries length {len(queries)}"
+                )
+            expired = [ctx is not None and ctx.expired() for ctx in ctxs]
+            if any(expired):
+                live = [q for q, dead in zip(queries, expired) if not dead]
+                live_results = iter(self.optimize_many(live) if live else [])
+                out: List[OptimizedPlan] = []
+                for query, dead, ctx in zip(queries, expired, ctxs):
+                    if dead:
+                        out.append(
+                            DeadlineExceededError(
+                                f"request {ctx.request_id} exceeded its "
+                                f"{ctx.deadline_s}s deadline before "
+                                f"optimization began"
+                            )
+                        )
+                    else:
+                        out.append(next(live_results))
+                return out
         queries = [
             bind_sql(self.database, query) if isinstance(query, str) else query
             for query in queries

@@ -43,7 +43,13 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.engine.database import Database, Dataset, PlanningResult
+from repro.engine.database import (
+    Database,
+    Dataset,
+    PlanningResult,
+    context_expired,
+    raise_deadline,
+)
 from repro.executor.engine import ExecutionResult
 from repro.optimizer.dp import OptimizerOptions
 from repro.optimizer.plans import PlanNode, plan_signature
@@ -57,6 +63,14 @@ class EngineBackend(Protocol):
     Batch methods (``*_many``) are first-class: the lockstep episode runner
     raises one batch call per cohort phase, which a sharded backend fans out
     across workers and a local backend resolves in a loop.
+
+    Every planning/execution entry point accepts an optional request
+    context (``ctx`` on singletons, an aligned ``ctxs`` sequence on batch
+    mirrors; see :class:`repro.api.context.RequestContext`).  ``None`` —
+    the default — keeps every existing caller source-compatible and the
+    results bitwise-identical.  A singleton with an expired context raises
+    ``DeadlineExceededError``; a batch checks each item immediately before
+    its slice of work and returns ``None`` in expired slots.
     """
 
     # -- metadata ------------------------------------------------------
@@ -73,19 +87,30 @@ class EngineBackend(Protocol):
     def sql(self, text: str, name: str = "") -> Query: ...
 
     # -- planning (Γp(Q, /) and Γp(Q, ICP)) ---------------------------
-    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult: ...
+    def plan(
+        self, query: Query, options: Optional[OptimizerOptions] = None, ctx=None
+    ) -> PlanningResult: ...
 
     def plan_many(
-        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
-    ) -> List[PlanningResult]: ...
+        self,
+        queries: Sequence[Query],
+        options: Optional[OptimizerOptions] = None,
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]: ...
 
     def plan_with_hints(
-        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+        ctx=None,
     ) -> PlanningResult: ...
 
     def plan_with_hints_many(
-        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
-    ) -> List[PlanningResult]: ...
+        self,
+        requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]],
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]: ...
 
     # -- execution (Ψp) -----------------------------------------------
     def execute(
@@ -94,11 +119,14 @@ class EngineBackend(Protocol):
         plan: PlanNode,
         timeout_ms: Optional[float] = None,
         use_cache: bool = True,
+        ctx=None,
     ) -> ExecutionResult: ...
 
     def execute_many(
-        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
-    ) -> List[ExecutionResult]: ...
+        self,
+        requests: Sequence[Tuple[Query, PlanNode, Optional[float]]],
+        ctxs=None,
+    ) -> List[Optional[ExecutionResult]]: ...
 
     def original_latency(self, query: Query) -> float: ...
 
@@ -163,11 +191,18 @@ class PlanningMemo:
         return resolved, miss_keys, miss_requests
 
     def fill(self, keys: Sequence, results: Sequence) -> None:
-        """Insert fetched results, evicting LRU entries at the cap."""
+        """Insert fetched results, evicting LRU entries at the cap.
+
+        ``None`` results (a deadline expired before the worker reached the
+        item, so no result exists) are never cached — the same key fetched
+        with budget to spare must still produce a real entry.
+        """
         if self.capacity <= 0:
             return
         with self._lock:
             for key, result in zip(keys, results):
+                if result is None:
+                    continue
                 if key in self._memo:
                     # A concurrent miss already inserted the identical
                     # result; just bump its recency.
@@ -211,12 +246,14 @@ def _engine_worker_main(conn, spec) -> None:
             if kind == "ping":
                 result = None
             elif kind == "plan_many":
-                queries, options = payload
-                result = database.plan_many(queries, options)
+                queries, options, ctxs = payload
+                result = database.plan_many(queries, options, ctxs=ctxs)
             elif kind == "hint_many":
-                result = database.plan_with_hints_many(payload)
+                requests, ctxs = payload
+                result = database.plan_with_hints_many(requests, ctxs=ctxs)
             elif kind == "execute_many":
-                result = database.execute_many(payload)
+                requests, ctxs = payload
+                result = database.execute_many(requests, ctxs=ctxs)
             elif kind == "clear_caches":
                 database.clear_caches()
                 result = None
@@ -329,7 +366,9 @@ class ShardedBackend:
         if self._closed:
             raise RuntimeError("ShardedBackend is closed")
 
-    def _scatter(self, kind: str, items: Sequence, keys: Sequence[str]) -> List:
+    def _scatter(
+        self, kind: str, items: Sequence, keys: Sequence[str], ctxs=None
+    ) -> List:
         """Send each item to the worker owning its key; gather in order.
 
         The involved workers' locks are all acquired (in worker order)
@@ -337,6 +376,11 @@ class ShardedBackend:
         cannot interleave its requests onto a pipe mid-round-trip; fan-out
         parallelism across the workers of *this* call is preserved because
         every send happens before the first recv.
+
+        ``ctxs`` (aligned with ``keys``) rides along in each worker's
+        payload: the monotonic clock is machine-wide, so workers compare
+        the parent's deadlines directly and skip items that expired while
+        the scatter was in flight (``None`` in their slots).
         """
         self._check_open()
         groups: Dict[int, List[int]] = {}
@@ -355,11 +399,12 @@ class ShardedBackend:
             first_error: Optional[Exception] = None
             for worker in workers:
                 indices = groups[worker]
+                sub_ctxs = None if ctxs is None else [ctxs[i] for i in indices]
                 if kind == "plan_many":
                     queries, options = items
-                    payload = ([queries[i] for i in indices], options)
+                    payload = ([queries[i] for i in indices], options, sub_ctxs)
                 else:
-                    payload = [items[i] for i in indices]
+                    payload = ([items[i] for i in indices], sub_ctxs)
                 try:
                     self._conns[worker].send((kind, payload))
                 except (BrokenPipeError, OSError, ValueError) as exc:
@@ -493,13 +538,56 @@ class ShardedBackend:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+    def plan(
+        self, query: Query, options: Optional[OptimizerOptions] = None, ctx=None
+    ) -> PlanningResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "planning")
         return self.plan_many([query], options)[0]
 
+    def _split_expired(self, ctxs, count: int):
+        """Indices of live items, or ``None`` when nothing expired."""
+        if ctxs is None:
+            return None
+        if len(ctxs) != count:
+            raise ValueError(f"ctxs length {len(ctxs)} != batch length {count}")
+        if not any(context_expired(ctx) for ctx in ctxs):
+            return None
+        return [i for i, ctx in enumerate(ctxs) if not context_expired(ctx)]
+
+    @staticmethod
+    def _ctx_for_misses(keys, ctxs, miss_keys):
+        """The first-seen context per missed key, aligned with ``miss_keys``.
+
+        The memo dedups by key, so a key shared by several requests is
+        fetched once — under the first requester's deadline (parent-side
+        expiry was already filtered, so every ctx here is live).
+        """
+        if ctxs is None:
+            return None
+        ctx_by_key: Dict = {}
+        for key, ctx in zip(keys, ctxs):
+            ctx_by_key.setdefault(key, ctx)
+        return [ctx_by_key.get(key) for key in miss_keys]
+
     def plan_many(
-        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
-    ) -> List[PlanningResult]:
+        self,
+        queries: Sequence[Query],
+        options: Optional[OptimizerOptions] = None,
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
         self._check_open()
+        live = self._split_expired(ctxs, len(queries))
+        if live is not None:
+            # Expired items never reach the memo or a pipe; their slots
+            # stay None while the live subset goes through the normal path.
+            sub = self.plan_many(
+                [queries[i] for i in live], options, [ctxs[i] for i in live]
+            )
+            out: List[Optional[PlanningResult]] = [None] * len(queries)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
         suffix = "" if options is None else f"@{options.signature()}"
         keys = [query.signature() + suffix for query in queries]
         resolved, miss_keys, miss_queries = self._plan_memo.lookup(keys, queries)
@@ -507,21 +595,43 @@ class ShardedBackend:
             # IPC happens outside the memo lock; two threads missing the
             # same key both scatter, but worker results are deterministic
             # so the duplicate insert is identical.
-            results = self._scatter("plan_many", (miss_queries, options), miss_keys)
+            results = self._scatter(
+                "plan_many",
+                (miss_queries, options),
+                miss_keys,
+                ctxs=self._ctx_for_misses(keys, ctxs, miss_keys),
+            )
             self._plan_memo.fill(miss_keys, results)
             for key, result in zip(miss_keys, results):
                 resolved[key] = result
         return [resolved[key] for key in keys]
 
     def plan_with_hints(
-        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+        ctx=None,
     ) -> PlanningResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "hint completion")
         return self.plan_with_hints_many([(query, join_order, join_methods)])[0]
 
     def plan_with_hints_many(
-        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
-    ) -> List[PlanningResult]:
+        self,
+        requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]],
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
         self._check_open()
+        live = self._split_expired(ctxs, len(requests))
+        if live is not None:
+            sub = self.plan_with_hints_many(
+                [requests[i] for i in live], [ctxs[i] for i in live]
+            )
+            out: List[Optional[PlanningResult]] = [None] * len(requests)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
         normalized = [
             (query, tuple(join_order), tuple(join_methods))
             for query, join_order, join_methods in requests
@@ -536,6 +646,7 @@ class ShardedBackend:
                 "hint_many",
                 miss_requests,
                 ["|".join((key[0],) + key[1] + key[2]) for key in miss_keys],
+                ctxs=self._ctx_for_misses(memo_keys, ctxs, miss_keys),
             )
             self._hint_memo.fill(miss_keys, results)
             for memo_key, result in zip(miss_keys, results):
@@ -551,20 +662,34 @@ class ShardedBackend:
         plan: PlanNode,
         timeout_ms: Optional[float] = None,
         use_cache: bool = True,
+        ctx=None,
     ) -> ExecutionResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "execution")
         if not use_cache:
             # Uncached timing studies must not pollute worker caches.
             return self.local.execute(query, plan, timeout_ms=timeout_ms, use_cache=False)
         return self.execute_many([(query, plan, timeout_ms)])[0]
 
     def execute_many(
-        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
-    ) -> List[ExecutionResult]:
+        self,
+        requests: Sequence[Tuple[Query, PlanNode, Optional[float]]],
+        ctxs=None,
+    ) -> List[Optional[ExecutionResult]]:
+        live = self._split_expired(ctxs, len(requests))
+        if live is not None:
+            sub = self.execute_many(
+                [requests[i] for i in live], [ctxs[i] for i in live]
+            )
+            out: List[Optional[ExecutionResult]] = [None] * len(requests)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
         keys = [
             f"{query.signature()}#{plan_signature(plan)}"
             for query, plan, _timeout in requests
         ]
-        return self._scatter("execute_many", list(requests), keys)
+        return self._scatter("execute_many", list(requests), keys, ctxs=ctxs)
 
     def original_latency(self, query: Query) -> float:
         planning = self.plan(query)

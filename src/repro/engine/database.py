@@ -42,6 +42,31 @@ from repro.storage.table import Table
 HARD_CAP_MS = 15_000.0
 
 
+def context_expired(ctx) -> bool:
+    """Whether a request context's deadline budget has run out.
+
+    ``ctx`` is duck-typed (anything with ``expired()``) so the engine
+    layer never has to import upward into :mod:`repro.api`; ``None``
+    means "no context" and never expires.
+    """
+    return ctx is not None and ctx.expired()
+
+
+def raise_deadline(ctx, what: str) -> None:
+    """Raise the typed deadline error for an expired singleton call.
+
+    Imported lazily: :class:`~repro.core.inference.DeadlineExceededError`
+    lives in :mod:`repro.core`, which itself imports the engine layer —
+    a module-level import here would be circular.
+    """
+    from repro.core.inference import DeadlineExceededError
+
+    raise DeadlineExceededError(
+        f"request {getattr(ctx, 'request_id', '?')} exceeded its "
+        f"{getattr(ctx, 'deadline_s', None)}s deadline before {what}"
+    )
+
+
 @dataclass
 class Dataset:
     """A generated benchmark database: schema + loaded storage."""
@@ -160,12 +185,21 @@ class Database:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+    def plan(
+        self,
+        query: Query,
+        options: Optional[OptimizerOptions] = None,
+        ctx=None,
+    ) -> PlanningResult:
         """``Γp(Q, /)``: the expert optimizer's plan for the query.
 
         Unoptioned plans are cached per query signature (the expert is
-        deterministic); the cached wall time is the first run's.
+        deterministic); the cached wall time is the first run's.  An
+        expired ``ctx`` raises ``DeadlineExceededError`` before any
+        enumeration work.
         """
+        if context_expired(ctx):
+            raise_deadline(ctx, "planning")
         key = query.signature() if options is None else f"{query.signature()}@{options.signature()}"
         with self._lock:
             cached = self._plan_cache.get(key)
@@ -187,14 +221,17 @@ class Database:
         query: Query,
         join_order: Sequence[str],
         join_methods: Sequence[str],
+        ctx=None,
     ) -> PlanningResult:
         """``Γp(Q, ICP)``: complete an incomplete plan into an executable one.
 
         Completion is deterministic, so results are memoized by
         (query, join order, join methods); episode loops revisit the same
         one-step edits constantly and the cached wall time is the first
-        run's.
+        run's.  An expired ``ctx`` raises before any completion work.
         """
+        if context_expired(ctx):
+            raise_deadline(ctx, "hint completion")
         key = (query.signature(), tuple(join_order), tuple(join_methods))
         with self._lock:
             cached = self._hint_cache.get(key)
@@ -222,18 +259,47 @@ class Database:
         self,
         queries: Sequence[Query],
         options: Optional[OptimizerOptions] = None,
-    ) -> List[PlanningResult]:
-        """Batch mirror of :meth:`plan` (sharded backends fan this out)."""
-        return [self.plan(query, options) for query in queries]
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
+        """Batch mirror of :meth:`plan` (sharded backends fan this out).
+
+        ``ctxs`` (aligned with ``queries``) opts into per-item deadline
+        checks: an item whose context expired — checked immediately before
+        its slice of work, so budgets burning out mid-batch drop the tail —
+        yields ``None`` in its slot instead of a result.  Callers that pass
+        ``ctxs`` must check; without ``ctxs`` the batch is unchanged.
+        """
+        if ctxs is None:
+            return [self.plan(query, options) for query in queries]
+        if len(ctxs) != len(queries):
+            raise ValueError(f"ctxs length {len(ctxs)} != queries length {len(queries)}")
+        return [
+            None if context_expired(ctx) else self.plan(query, options)
+            for query, ctx in zip(queries, ctxs)
+        ]
 
     def plan_with_hints_many(
         self,
         requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]],
-    ) -> List[PlanningResult]:
-        """Batch mirror of :meth:`plan_with_hints` for episode cohorts."""
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
+        """Batch mirror of :meth:`plan_with_hints` for episode cohorts.
+
+        ``ctxs`` follows the :meth:`plan_many` contract: expired item →
+        ``None`` slot.
+        """
+        if ctxs is None:
+            return [
+                self.plan_with_hints(query, join_order, join_methods)
+                for query, join_order, join_methods in requests
+            ]
+        if len(ctxs) != len(requests):
+            raise ValueError(f"ctxs length {len(ctxs)} != requests length {len(requests)}")
         return [
-            self.plan_with_hints(query, join_order, join_methods)
-            for query, join_order, join_methods in requests
+            None
+            if context_expired(ctx)
+            else self.plan_with_hints(query, join_order, join_methods)
+            for (query, join_order, join_methods), ctx in zip(requests, ctxs)
         ]
 
     # ------------------------------------------------------------------
@@ -245,12 +311,16 @@ class Database:
         plan: PlanNode,
         timeout_ms: Optional[float] = None,
         use_cache: bool = True,
+        ctx=None,
     ) -> ExecutionResult:
         """``Ψp``: execute the plan, honouring the dynamic timeout.
 
         Deterministic virtual time lets results be cached; a cached latency
-        above ``timeout_ms`` is reported as a timeout.
+        above ``timeout_ms`` is reported as a timeout.  An expired ``ctx``
+        raises before any execution work.
         """
+        if context_expired(ctx):
+            raise_deadline(ctx, "execution")
         key = (query.signature(), plan_signature(plan))
         internal_cap = min(HARD_CAP_MS, timeout_ms) if timeout_ms is not None else HARD_CAP_MS
 
@@ -294,11 +364,25 @@ class Database:
     def execute_many(
         self,
         requests: Sequence[Tuple[Query, PlanNode, Optional[float]]],
-    ) -> List[ExecutionResult]:
-        """Batch mirror of :meth:`execute`: (query, plan, timeout_ms) triples."""
+        ctxs=None,
+    ) -> List[Optional[ExecutionResult]]:
+        """Batch mirror of :meth:`execute`: (query, plan, timeout_ms) triples.
+
+        ``ctxs`` follows the :meth:`plan_many` contract: expired item →
+        ``None`` slot.
+        """
+        if ctxs is None:
+            return [
+                self.execute(query, plan, timeout_ms=timeout_ms)
+                for query, plan, timeout_ms in requests
+            ]
+        if len(ctxs) != len(requests):
+            raise ValueError(f"ctxs length {len(ctxs)} != requests length {len(requests)}")
         return [
-            self.execute(query, plan, timeout_ms=timeout_ms)
-            for query, plan, timeout_ms in requests
+            None
+            if context_expired(ctx)
+            else self.execute(query, plan, timeout_ms=timeout_ms)
+            for (query, plan, timeout_ms), ctx in zip(requests, ctxs)
         ]
 
     def original_latency(self, query: Query) -> float:

@@ -28,6 +28,7 @@ remote backends (``tests/test_remote_backend.py``).
 from repro.engine.remote.client import (
     RemoteBackend,
     RemoteEngineError,
+    RemoteTimeoutError,
     parse_engine_url,
 )
 from repro.engine.remote.server import EngineServer, serve
@@ -36,6 +37,7 @@ __all__ = [
     "EngineServer",
     "RemoteBackend",
     "RemoteEngineError",
+    "RemoteTimeoutError",
     "parse_engine_url",
     "serve",
 ]

@@ -15,12 +15,16 @@ bytes on a socket.  ``*_many`` calls ship as single frames — one round
 trip per batch, not per item — and planning RPCs are memoized client-side
 (:class:`~repro.engine.backend.PlanningMemo`).
 
-Failure surface: connection drops and timeouts get a bounded reconnect
-(requests are idempotent — the engine is a pure function of the dataset —
-so a retry cannot double-apply anything) and then a typed
-:class:`RemoteEngineError`; a checksum-invalid or desynchronized stream
-raises :class:`~repro.engine.wire.FrameCorruptionError` immediately,
-because corruption is a bug to surface, not a transient to paper over.
+Failure surface, split by whether retrying can help: timeouts and dropped
+connections get a bounded reconnect (requests are idempotent — the engine
+is a pure function of the dataset — so a retry cannot double-apply
+anything) and then a typed error — :class:`RemoteTimeoutError` when every
+attempt timed out, :class:`RemoteEngineError` otherwise.  Connection
+*refused* fails fast with no retries (nobody is listening; backing off
+won't make a server appear), as does a fingerprint/handshake mismatch; a
+checksum-invalid or desynchronized stream raises
+:class:`~repro.engine.wire.FrameCorruptionError` immediately, because
+corruption is a bug to surface, not a transient to paper over.
 
 At connect time the client compares the server's dataset fingerprint
 against its own mirror and refuses to serve across datagen drift — the
@@ -36,11 +40,19 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.backend import PlanningMemo
-from repro.engine.database import Database, Dataset, PlanningResult, dataset_fingerprint
+from repro.engine.database import (
+    Database,
+    Dataset,
+    PlanningResult,
+    context_expired,
+    dataset_fingerprint,
+    raise_deadline,
+)
 from repro.engine.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameCorruptionError,
     FrameTooLargeError,
+    contexts_to_wire,
     read_frame,
     write_frame,
 )
@@ -52,7 +64,18 @@ from repro.sql.ast import Query
 
 class RemoteEngineError(RuntimeError):
     """A remote engine RPC failed (server error, dead/unreachable server,
-    timeout after bounded reconnects, or a client/server dataset mismatch)."""
+    or a client/server dataset mismatch)."""
+
+
+class RemoteTimeoutError(RemoteEngineError):
+    """Every bounded reconnect attempt timed out waiting on the server.
+
+    Transient by definition — the server exists but answered too slowly —
+    so callers with retry budgets (hedging, failover fronts) may try
+    again.  Distinct from plain :class:`RemoteEngineError`, which covers
+    the non-transient cases (connection refused, handshake mismatch,
+    server-side errors) where retrying cannot help.
+    """
 
 
 def parse_engine_url(url: str) -> Tuple[str, int]:
@@ -171,6 +194,12 @@ class RemoteBackend:
         hello = self._call("fingerprint", None)
         self.remote_fingerprint: str = hello["dataset_fingerprint"]
         self.server_info: Dict = hello
+        # Version negotiation: contexts ride the wire only when the server
+        # advertised protocol >= 2.  Against an older server the client
+        # still enforces deadlines itself (expired items are dropped
+        # client-side before the frame is built), so context-free requests
+        # keep working in both directions.
+        self.server_protocol: int = int(hello.get("protocol", 1))
         local_fingerprint = dataset_fingerprint(self.local.dataset)
         if self.remote_fingerprint != local_fingerprint:
             self.close()
@@ -195,18 +224,37 @@ class RemoteBackend:
         conn.lock.acquire()
         return conn
 
-    def _call(self, kind: str, payload):
+    def _call(self, kind: str, payload, ctxs=None):
         """One framed RPC round trip with bounded reconnect.
 
         The connection lock is held across the full send→recv (the sharded
         pool's pipe discipline): a frame on the wire is never interleaved
-        with another thread's.  Dropped connections and timeouts reconnect
-        up to ``max_reconnects`` times — safe because every engine RPC is
-        idempotent — then raise :class:`RemoteEngineError`;
+        with another thread's.  Dropped connections reconnect up to
+        ``max_reconnects`` times — safe because every engine RPC is
+        idempotent — then raise :class:`RemoteEngineError`
+        (:class:`RemoteTimeoutError` when every attempt timed out).
+        Connection refused fails fast with no retries, and
         :class:`FrameCorruptionError` propagates immediately.
+
+        ``ctxs`` (aligned with the items of a ``*_many`` payload) is
+        encoded into a protocol-v2 3-tuple frame when the server supports
+        it; a v1 server gets the plain 2-tuple and deadlines stay
+        client-enforced.
         """
         self._check_open()
-        request = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        wire_ctxs = (
+            contexts_to_wire(ctxs)
+            if ctxs is not None
+            and any(ctx is not None for ctx in ctxs)
+            and getattr(self, "server_protocol", 1) >= 2
+            else None
+        )
+        if wire_ctxs is not None:
+            request = pickle.dumps(
+                (kind, payload, wire_ctxs), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        else:
+            request = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
         if len(request) > self.max_frame_bytes:
             # Rejected before a connection is touched: nothing reached the
             # wire, so no healthy pooled socket should be dropped for it.
@@ -233,6 +281,30 @@ class RemoteBackend:
                     # itself must surface — corruption is not a transient.
                     conn.drop()
                     raise
+                except ConnectionRefusedError as exc:
+                    # Nobody is listening at the address.  Backing off and
+                    # retrying cannot make a server appear, so fail fast
+                    # instead of burning the reconnect budget.
+                    conn.drop()
+                    raise RemoteEngineError(
+                        f"engine RPC {kind!r} to {self.url}: connection "
+                        f"refused — no server listening (not retrying): "
+                        f"{exc!r}"
+                    ) from exc
+                except TimeoutError as exc:
+                    # socket.timeout is TimeoutError; caught before the
+                    # OSError clause below so exhausted retries surface as
+                    # the retryable RemoteTimeoutError, not the generic
+                    # (non-transient) RemoteEngineError.
+                    conn.drop()
+                    attempts += 1
+                    if attempts > self.max_reconnects:
+                        raise RemoteTimeoutError(
+                            f"engine RPC {kind!r} to {self.url} timed out "
+                            f"after {attempts} attempt(s) "
+                            f"(timeout_s={self.timeout_s}): {exc!r}"
+                        ) from exc
+                    time.sleep(self.reconnect_backoff_s * attempts)
                 except (ConnectionError, EOFError, OSError) as exc:
                     conn.drop()
                     attempts += 1
@@ -324,30 +396,91 @@ class RemoteBackend:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, query: Query, options: Optional[OptimizerOptions] = None) -> PlanningResult:
+    def _split_expired(self, ctxs, count: int):
+        """Indices of live items, or ``None`` when nothing expired.
+
+        Client-side enforcement: runs against any server version, so a v1
+        server never sees items whose budgets were already gone.
+        """
+        if ctxs is None:
+            return None
+        if len(ctxs) != count:
+            raise ValueError(f"ctxs length {len(ctxs)} != batch length {count}")
+        if not any(context_expired(ctx) for ctx in ctxs):
+            return None
+        return [i for i, ctx in enumerate(ctxs) if not context_expired(ctx)]
+
+    @staticmethod
+    def _ctx_for_misses(keys, ctxs, miss_keys):
+        """First-seen context per missed memo key, aligned with ``miss_keys``."""
+        if ctxs is None:
+            return None
+        ctx_by_key: Dict = {}
+        for key, ctx in zip(keys, ctxs):
+            ctx_by_key.setdefault(key, ctx)
+        return [ctx_by_key.get(key) for key in miss_keys]
+
+    def plan(
+        self, query: Query, options: Optional[OptimizerOptions] = None, ctx=None
+    ) -> PlanningResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "planning")
         return self.plan_many([query], options)[0]
 
     def plan_many(
-        self, queries: Sequence[Query], options: Optional[OptimizerOptions] = None
-    ) -> List[PlanningResult]:
+        self,
+        queries: Sequence[Query],
+        options: Optional[OptimizerOptions] = None,
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
+        live = self._split_expired(ctxs, len(queries))
+        if live is not None:
+            sub = self.plan_many(
+                [queries[i] for i in live], options, [ctxs[i] for i in live]
+            )
+            out: List[Optional[PlanningResult]] = [None] * len(queries)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
         suffix = "" if options is None else f"@{options.signature()}"
         keys = [query.signature() + suffix for query in queries]
         resolved, miss_keys, miss_queries = self._plan_memo.lookup(keys, queries)
         if miss_queries:
-            results = self._call("plan_many", (miss_queries, options))
+            results = self._call(
+                "plan_many",
+                (miss_queries, options),
+                ctxs=self._ctx_for_misses(keys, ctxs, miss_keys),
+            )
             self._plan_memo.fill(miss_keys, results)
             for key, result in zip(miss_keys, results):
                 resolved[key] = result
         return [resolved[key] for key in keys]
 
     def plan_with_hints(
-        self, query: Query, join_order: Sequence[str], join_methods: Sequence[str]
+        self,
+        query: Query,
+        join_order: Sequence[str],
+        join_methods: Sequence[str],
+        ctx=None,
     ) -> PlanningResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "hint completion")
         return self.plan_with_hints_many([(query, join_order, join_methods)])[0]
 
     def plan_with_hints_many(
-        self, requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]]
-    ) -> List[PlanningResult]:
+        self,
+        requests: Sequence[Tuple[Query, Sequence[str], Sequence[str]]],
+        ctxs=None,
+    ) -> List[Optional[PlanningResult]]:
+        live = self._split_expired(ctxs, len(requests))
+        if live is not None:
+            sub = self.plan_with_hints_many(
+                [requests[i] for i in live], [ctxs[i] for i in live]
+            )
+            out: List[Optional[PlanningResult]] = [None] * len(requests)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
         normalized = [
             (query, tuple(join_order), tuple(join_methods))
             for query, join_order, join_methods in requests
@@ -358,7 +491,11 @@ class RemoteBackend:
         ]
         resolved, miss_keys, miss_requests = self._hint_memo.lookup(memo_keys, normalized)
         if miss_requests:
-            results = self._call("hint_many", miss_requests)
+            results = self._call(
+                "hint_many",
+                miss_requests,
+                ctxs=self._ctx_for_misses(memo_keys, ctxs, miss_keys),
+            )
             self._hint_memo.fill(miss_keys, results)
             for memo_key, result in zip(miss_keys, results):
                 resolved[memo_key] = result
@@ -373,17 +510,35 @@ class RemoteBackend:
         plan: PlanNode,
         timeout_ms: Optional[float] = None,
         use_cache: bool = True,
+        ctx=None,
     ) -> ExecutionResult:
+        if context_expired(ctx):
+            raise_deadline(ctx, "execution")
         if not use_cache:
             # Uncached timing studies bypass the server's latency cache
             # (Database.execute skips the cache write for them too).
-            return self._call("execute", (query, plan, timeout_ms, False))
+            return self._call(
+                "execute",
+                (query, plan, timeout_ms, False),
+                ctxs=None if ctx is None else [ctx],
+            )
         return self.execute_many([(query, plan, timeout_ms)])[0]
 
     def execute_many(
-        self, requests: Sequence[Tuple[Query, PlanNode, Optional[float]]]
-    ) -> List[ExecutionResult]:
-        return self._call("execute_many", list(requests))
+        self,
+        requests: Sequence[Tuple[Query, PlanNode, Optional[float]]],
+        ctxs=None,
+    ) -> List[Optional[ExecutionResult]]:
+        live = self._split_expired(ctxs, len(requests))
+        if live is not None:
+            sub = self.execute_many(
+                [requests[i] for i in live], [ctxs[i] for i in live]
+            )
+            out: List[Optional[ExecutionResult]] = [None] * len(requests)
+            for index, result in zip(live, sub):
+                out[index] = result
+            return out
+        return self._call("execute_many", list(requests), ctxs=ctxs)
 
     def original_latency(self, query: Query) -> float:
         planning = self.plan(query)

@@ -40,11 +40,17 @@ from repro.engine.database import dataset_fingerprint
 from repro.engine.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameCorruptionError,
+    contexts_from_wire,
     read_frame,
     write_frame,
 )
 
-PROTOCOL_VERSION = 1
+# v2 added per-request contexts: request frames may be ``(kind, body,
+# wire_ctxs)`` 3-tuples carrying compact context dicts (deadline budgets
+# re-anchored server-side, so the server enforces deadlines itself).  The
+# version is advertised in the ``fingerprint`` handshake; v1 clients keep
+# sending 2-tuples, which every ``_dispatch`` still accepts.
+PROTOCOL_VERSION = 2
 
 
 class EngineServer:
@@ -177,9 +183,16 @@ class EngineServer:
                 self._clients.pop(client_id, None)
 
     def _dispatch(self, payload: bytes):
-        """One request → ``("ok", (result, executions))`` or ``("err", msg)``."""
+        """One request → ``("ok", (result, executions))`` or ``("err", msg)``.
+
+        Requests are ``(kind, body)`` 2-tuples (protocol v1) or
+        ``(kind, body, wire_ctxs)`` 3-tuples (v2, contexts re-anchored on
+        this machine's clock so deadlines are enforced server-side).
+        """
         try:
-            kind, body = pickle.loads(payload)
+            decoded = pickle.loads(payload)
+            kind, body = decoded[0], decoded[1]
+            ctxs = contexts_from_wire(decoded[2]) if len(decoded) > 2 else None
         except Exception as exc:
             return ("err", f"undecodable request: {exc!r}")
         backend = self.backend
@@ -198,15 +211,19 @@ class EngineServer:
                 result = backend.sql(text, name=name)
             elif kind == "plan_many":
                 queries, options = body
-                result = backend.plan_many(queries, options)
+                result = backend.plan_many(queries, options, ctxs=ctxs)
             elif kind == "hint_many":
-                result = backend.plan_with_hints_many(body)
+                result = backend.plan_with_hints_many(body, ctxs=ctxs)
             elif kind == "execute_many":
-                result = backend.execute_many(body)
+                result = backend.execute_many(body, ctxs=ctxs)
             elif kind == "execute":
                 query, plan, timeout_ms, use_cache = body
                 result = backend.execute(
-                    query, plan, timeout_ms=timeout_ms, use_cache=use_cache
+                    query,
+                    plan,
+                    timeout_ms=timeout_ms,
+                    use_cache=use_cache,
+                    ctx=ctxs[0] if ctxs else None,
                 )
             elif kind == "clear_caches":
                 backend.clear_caches()

@@ -112,3 +112,29 @@ def read_frame(
             f"checksums to {actual_crc:08x}"
         )
     return payload
+
+
+# ----------------------------------------------------------------------
+# request-context wire form (protocol v2)
+# ----------------------------------------------------------------------
+# Contexts cross the socket as compact plain dicts, not pickled
+# RequestContext instances: monotonic clocks do not transfer across
+# machines, so the dict carries the *remaining* budget (``ttl_s``) and the
+# receiver re-anchors it on its own clock.  These helpers import the api
+# layer lazily — wire is the bottom of the engine stack and must not pull
+# the serving package in at import time.
+
+def contexts_to_wire(ctxs, now: Optional[float] = None):
+    """Encode an aligned context sequence for a v2 frame (``None`` → ``None``)."""
+    if ctxs is None:
+        return None
+    return [None if ctx is None else ctx.to_wire(now) for ctx in ctxs]
+
+
+def contexts_from_wire(wire_ctxs):
+    """Rebuild contexts from a v2 frame, re-anchored on this machine's clock."""
+    if wire_ctxs is None:
+        return None
+    from repro.api.context import RequestContext
+
+    return [RequestContext.from_wire(data) for data in wire_ctxs]
