@@ -1,0 +1,93 @@
+"""Hot-path profile: op-level counters over one batched episode cohort.
+
+Runs a full lockstep cohort (policy forwards + AAM statevec forwards +
+plan encoding) under :mod:`repro.nn.profile` and records the op mix into
+the ``hotpath_profile`` section of ``BENCH_throughput.json``.
+
+Two invariants are asserted, not just recorded:
+
+* **zero tape nodes** — episode collection runs entirely under
+  ``no_grad``, so a full policy+AAM forward must never construct an
+  autograd node.  Any regression here silently reverts the inference
+  fast path to the (much slower) tape-building path.
+* the fast path still *produces* tensors (``inference_tensors > 0``),
+  i.e. the counter is live and the assertion above is not vacuous.
+
+Budget scales with ``REPRO_BENCH_SCALE`` / ``REPRO_PROFILE_EPISODES`` so
+CI can run it as a smoke check (see the smoke-bench job).
+"""
+
+import os
+
+import pytest
+from bench_results import update_results
+
+from repro.core.aam import AAMConfig
+from repro.core.trainer import FossConfig, FossTrainer
+from repro.nn import profile
+from repro.workloads.job import build_job_workload
+
+PROFILE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.03"))
+PROFILE_EPISODES = int(os.environ.get("REPRO_PROFILE_EPISODES", "64"))
+BATCH_SIZE = 64
+
+
+@pytest.mark.bench
+def test_profile_hotpath():
+    workload = build_job_workload(scale=PROFILE_SCALE, seed=1)
+    config = FossConfig(
+        max_steps=3,
+        episode_batch_size=BATCH_SIZE,
+        seed=23,
+        aam=AAMConfig(epochs=1),
+    )
+    trainer = FossTrainer(workload, config)
+    runner = trainer.runners[0]
+    eligible = [wq.query for wq in workload.train if wq.query.num_tables >= 3]
+    assert eligible, "profile workload produced no >=3-table queries"
+    queries = [eligible[i % len(eligible)] for i in range(PROFILE_EPISODES)]
+
+    # Warm plan/hint caches so the profiled cohort measures the steady
+    # state (model + encoding), not one-off expert planning.
+    runner.run(trainer.sim_env, queries)
+
+    with profile.profile() as prof:
+        episodes = runner.run(trainer.sim_env, queries)
+    assert len(episodes) == len(queries)
+
+    snapshot = prof.as_dict()
+
+    # The whole cohort runs under no_grad: a single tape node means some
+    # forward escaped the inference fast path.
+    assert prof.tape_nodes == 0, (
+        f"episode collection built {prof.tape_nodes} tape nodes; "
+        "the no_grad fast path has regressed"
+    )
+    assert prof.inference_tensors > 0, "op counters recorded nothing"
+
+    # Training (PPO update) *must* build a tape — proves the counter is
+    # live rather than permanently short-circuited.
+    profile.COUNTERS.reset()
+    trainer.planners[0].update_from_episodes(episodes)
+    assert profile.COUNTERS.tape_nodes > 0, (
+        "PPO update built no tape nodes; the tape_nodes counter is dead"
+    )
+
+    top_ops = dict(list(snapshot["ops"].items())[:8])  # as_dict sorts by calls
+    update_results(
+        {
+            "hotpath_profile": {
+                "scale": PROFILE_SCALE,
+                "num_episodes": PROFILE_EPISODES,
+                "episode_batch_size": BATCH_SIZE,
+                "tape_nodes": snapshot["tape_nodes"],
+                "inference_tensors": snapshot["inference_tensors"],
+                "total_calls": snapshot["total_calls"],
+                "total_mb": round(snapshot["total_bytes"] / 1e6, 2),
+                "top_ops": top_ops,
+            }
+        }
+    )
+    print("\n=== hot-path profile (batched cohort, no_grad) ===")
+    for op, stats in top_ops.items():
+        print(f"  {op:<16} calls={stats['calls']:<8} ms={stats['ms']}")

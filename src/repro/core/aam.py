@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.encoding import (
     EncodedPlan,
+    MAX_FILTERS_PER_NODE,
     NUM_OPS,
     NUM_PRED_OPS,
     NUM_STRUCT_TYPES,
@@ -36,7 +37,7 @@ from repro.nn.layers import (
     TransformerEncoderLayer,
 )
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
 
 NUM_SCORES = 3  # the paper's point set {0.05, 0.50} -> scores {0, 1, 2}
 
@@ -94,6 +95,10 @@ class StateNetwork(Module):
         self.final_norm = LayerNorm(config.d_model)
         # +1 for the step encoding appended after pooling.
         self.state_proj = Linear(config.d_model + 1, config.d_state, rng=rng)
+        # Scratch gather buffers keyed by (batch, trim), reused across
+        # inference forwards (cohorts repeat the same shapes step after
+        # step).  Bounded: dropped wholesale past 64 distinct shapes.
+        self._gather_pool: Dict[Tuple[int, int], Tuple[np.ndarray, ...]] = {}
 
     # ------------------------------------------------------------------
     def forward(self, plans: Sequence[EncodedPlan], steps: np.ndarray) -> Tensor:
@@ -106,6 +111,8 @@ class StateNetwork(Module):
         attention cost of schema-wide padding.
         """
         trim = max(p.num_nodes for p in plans)
+        if not is_grad_enabled():
+            return self._forward_inference(plans, steps, trim)
         ops = np.stack([p.ops[:trim] for p in plans])
         tables = np.stack([p.tables[:trim] for p in plans])
         jl = np.stack([p.join_left_col[:trim] for p in plans])
@@ -137,6 +144,94 @@ class StateNetwork(Module):
         steps = np.asarray(steps, dtype=np.float64).reshape(-1, 1)
         pooled = F.concatenate([root, Tensor(steps)], axis=-1)
         return self.state_proj(pooled)
+
+    def _forward_inference(
+        self, plans: Sequence[EncodedPlan], steps: np.ndarray, trim: int
+    ) -> Tensor:
+        """No-grad forward: pooled gathers + direct embedding-table math.
+
+        Evaluates the exact expression sequence of :meth:`forward` (same
+        gathers, same add order, same concatenation layout), but without
+        tape bookkeeping: feature assembly writes straight into one
+        ``(B, N, 6d)`` block, embeddings index their weight tables directly
+        (ids are in range by encoder construction), and the gather buffers
+        are reused across calls of the same ``(batch, trim)`` shape.
+        Buffer reuse is safe here: every consumer either copies
+        (fancy-indexing, ``np.where`` mask) or writes into fresh arrays,
+        so no pooled buffer escapes one forward.  (Concurrent serving is
+        serialized by the service's optimize lock.)
+        """
+        b = len(plans)
+        d = self.config.d_embed
+        use_blocks = all(p.int_block is not None for p in plans)
+        if b == 1:
+            p = plans[0]
+            if use_blocks:
+                ib = p.int_block[:, :trim][None]
+                fb = p.fint_block[:, :trim][None]
+            fvals = p.filter_vals[:trim][None]
+            attn = p.attention_mask[:trim, :trim][None]
+        else:
+            key = (b, trim)
+            bufs = self._gather_pool.get(key)
+            if bufs is None:
+                if len(self._gather_pool) >= 64:
+                    self._gather_pool.clear()
+                nf = MAX_FILTERS_PER_NODE
+                bufs = self._gather_pool[key] = (
+                    np.empty((b, 6, trim), dtype=np.int64),
+                    np.empty((b, 2, trim, nf), dtype=np.int64),
+                    np.empty((b, trim, nf), dtype=np.float64),
+                    np.empty((b, trim, trim), dtype=bool),
+                )
+            if use_blocks:
+                ib = np.stack([p.int_block[:, :trim] for p in plans], out=bufs[0])
+                fb = np.stack([p.fint_block[:, :trim] for p in plans], out=bufs[1])
+            fvals = np.stack([p.filter_vals[:trim] for p in plans], out=bufs[2])
+            attn = np.stack([p.attention_mask[:trim, :trim] for p in plans], out=bufs[3])
+        if use_blocks:
+            ops, tables, jl, jr, heights, structs = (
+                ib[:, 0], ib[:, 1], ib[:, 2], ib[:, 3], ib[:, 4], ib[:, 5]
+            )
+            fcols, fops = fb[:, 0], fb[:, 1]
+        else:
+            # Hand-built EncodedPlans (tests, external callers) without the
+            # packed blocks fall back to per-field gathers.
+            ops = np.stack([p.ops[:trim] for p in plans])
+            tables = np.stack([p.tables[:trim] for p in plans])
+            jl = np.stack([p.join_left_col[:trim] for p in plans])
+            jr = np.stack([p.join_right_col[:trim] for p in plans])
+            fcols = np.stack([p.filter_cols[:trim] for p in plans])
+            fops = np.stack([p.filter_ops[:trim] for p in plans])
+            heights = np.stack([p.heights[:trim] for p in plans])
+            structs = np.stack([p.structs[:trim] for p in plans])
+
+        col_w = self.column_embed.weight.data
+        feat = np.empty((b, trim, 6 * d), dtype=np.float64)
+        feat[..., 0 * d : 1 * d] = self.op_embed.weight.data[ops]
+        feat[..., 1 * d : 2 * d] = self.table_embed.weight.data[tables]
+        join_cols = feat[..., 2 * d : 3 * d]
+        join_cols[...] = col_w[jl]
+        join_cols += col_w[jr]
+        # filters: sum over slots of (col + op + value * direction)
+        f = col_w[fcols]                                # (B, N, F, d)
+        f += self.pred_op_embed.weight.data[fops]
+        f += fvals[..., None] * self.value_direction.data
+        feat[..., 3 * d : 4 * d] = f.sum(axis=2)
+        feat[..., 4 * d : 5 * d] = self.height_embed.weight.data[heights]
+        feat[..., 5 * d : 6 * d] = self.struct_embed.weight.data[structs]
+
+        x = self.input_proj(Tensor._inference(feat))
+        # Both layers share one reachability mask; build its additive term
+        # (the exact expression each layer would build) once.
+        additive = np.where(attn, 0.0, -1e9)[:, None, :, :]
+        for layer in self.layers:
+            x = layer(x, mask=attn, additive=additive)
+        x = self.final_norm(x)
+        root = x.data[:, 0, :]  # pre-order encoding puts the plan root at 0
+        steps = np.asarray(steps, dtype=np.float64).reshape(-1, 1)
+        pooled = np.concatenate([root, steps], axis=-1)
+        return self.state_proj(Tensor._inference(pooled))
 
     def statevec(self, plan: EncodedPlan, step: float) -> np.ndarray:
         """Inference-mode state representation for a single plan."""
@@ -274,6 +369,45 @@ class AdvantageModel(Module):
                 [encoded for _, _, encoded, _ in miss_items],
                 np.array([frac for _, _, _, frac in miss_items]),
             )
+            if len(self._statevec_cache) + len(miss_keys) > self.statevec_cache_capacity:
+                self._statevec_cache.clear()
+            for key, vec in zip(miss_keys, vecs):
+                resolved[key] = vec
+                self._statevec_cache[key] = vec
+        return np.stack([resolved[key] for key in keys])
+
+    def statevecs_lazy(
+        self,
+        items: Sequence[Tuple[str, str, Tuple["Query", "PlanNode"], float]],
+        encoder,
+    ) -> np.ndarray:
+        """Like :meth:`statevecs_cached`, but encodes only cache misses.
+
+        Items carry the raw ``(query, plan)`` pair instead of an
+        :class:`EncodedPlan`; the cache key is pure signatures, so hits
+        never touch the encoder at all.  Misses are encoded in one
+        ``encoder.encode_many`` batch and flushed together.
+        """
+        version = self.version
+        keys = [(version, qsig, psig, frac) for qsig, psig, _, frac in items]
+        resolved: Dict[Tuple[int, str, str, float], np.ndarray] = {}
+        miss_keys = []
+        miss_pairs = []
+        miss_fracs = []
+        for key, (_, _, pair, frac) in zip(keys, items):
+            if key in resolved:
+                continue
+            hit = self._statevec_cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                resolved[key] = None  # placeholder, filled by the flush below
+                miss_keys.append(key)
+                miss_pairs.append(pair)
+                miss_fracs.append(frac)
+        if miss_keys:
+            encoded = encoder.encode_many(miss_pairs)
+            vecs = self.state_network.statevecs(encoded, np.array(miss_fracs))
             if len(self._statevec_cache) + len(miss_keys) > self.statevec_cache_capacity:
                 self._statevec_cache.clear()
             for key, vec in zip(miss_keys, vecs):

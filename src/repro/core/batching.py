@@ -110,6 +110,11 @@ class BatchedEpisodeRunner:
             raise ValueError("batch_size must be >= 1")
         self.planner = planner
         self.batch_size = batch_size
+        # Scratch buffer for the per-step stacked action masks, reused
+        # across cohort steps (the cohort only shrinks, so a handful of
+        # shapes recur).  Transitions store the *source* mask rows, never
+        # views of this buffer, so reuse cannot corrupt recorded episodes.
+        self._mask_pool: dict = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -170,14 +175,21 @@ class BatchedEpisodeRunner:
         space = planner.action_space
 
         # Phase 1: action selection — one policy forward for the cohort.
-        masks = np.stack(
-            [
-                space.post_swap_mask(ep.icp, ep.last_swap)
-                if ep.last_swap is not None
-                else space.legality_mask(ep.icp)
-                for ep in active
-            ]
-        )
+        mask_rows = [
+            space.post_swap_mask(ep.icp, ep.last_swap)
+            if ep.last_swap is not None
+            else space.legality_mask(ep.icp)
+            for ep in active
+        ]
+        key = (len(mask_rows), mask_rows[0].shape[0], mask_rows[0].dtype)
+        buf = self._mask_pool.get(key)
+        if buf is None:
+            if len(self._mask_pool) >= 64:
+                self._mask_pool.clear()
+            buf = self._mask_pool[key] = np.empty(
+                (key[0], key[1]), dtype=mask_rows[0].dtype
+            )
+        masks = np.stack(mask_rows, out=buf)
         states = planner.statevec_many([(ep.query, ep.plan, t - 1) for ep in active])
         actions, log_probs, values = planner.policy.act_batch(
             states, masks, [ep.rng for ep in active], deterministic
@@ -228,9 +240,10 @@ class BatchedEpisodeRunner:
                 for ep, bounty in zip(eligible, bounties):
                     ep.step_reward += cfg.reward.eta * bounty
 
-        # Phase 6: record transitions and advance episode state.
+        # Phase 6: record transitions and advance episode state.  Masks come
+        # from `mask_rows` (fresh per-episode arrays), not the pooled stack.
         for ep, state, action_id, log_prob, value, mask in zip(
-            active, states, actions, log_probs, values, masks
+            active, states, actions, log_probs, values, mask_rows
         ):
             ep.transitions.append(
                 Transition(

@@ -63,6 +63,12 @@ class EncodedPlan:
     attention_mask: np.ndarray  # (N, N) bool; True = may attend
     node_mask: np.ndarray      # (N,) bool; True = real node
     num_nodes: int
+    # Contiguous packed views over the same storage as the fields above,
+    # letting batch consumers gather all int features with one stack each:
+    # int_block rows are (ops, tables, join_left_col, join_right_col,
+    # heights, structs); fint_block rows are (filter_cols, filter_ops).
+    int_block: Optional[np.ndarray] = None   # (6, N) int64
+    fint_block: Optional[np.ndarray] = None  # (2, N, F) int64
 
 
 class PlanEncoder:
@@ -90,8 +96,9 @@ class PlanEncoder:
         self.cache_capacity = cache_capacity
         self._cache: "OrderedDict[Tuple[str, str], EncodedPlan]" = OrderedDict()
         # Scan-leaf features are invariant across all plans of a query
-        # (only order/methods/structure change), so they are derived once.
-        self._leaf_cache: Dict[Tuple[str, str], Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]] = {}
+        # (only order/methods/structure change), so they are derived once
+        # and kept under the same move-to-end LRU discipline as `_cache`.
+        self._leaf_cache: "OrderedDict[Tuple[str, str], Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         # id 0 is the "none" sentinel for both vocabularies.
@@ -130,63 +137,230 @@ class PlanEncoder:
     def encode_many(
         self, pairs: Sequence[Tuple[Query, PlanNode]]
     ) -> List[EncodedPlan]:
-        """Encode a batch of (query, plan) pairs through the shared cache."""
-        return [self.encode(query, plan) for query, plan in pairs]
+        """Encode a batch of (query, plan) pairs through the shared cache.
+
+        This is a true batch path: after one cache-lookup pass (with
+        in-batch dedup), *all* uncached plans are encoded together by
+        :meth:`_encode_batch`, whose feature writes and reachability
+        closure vectorize across the whole cohort.
+        """
+        results: List[Optional[EncodedPlan]] = [None] * len(pairs)
+        miss_slots: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
+        miss_pairs: List[Tuple[Query, PlanNode]] = []
+        for idx, (query, plan) in enumerate(pairs):
+            key = (query.signature(), plan_signature(plan))
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                results[idx] = cached
+                continue
+            slots = miss_slots.get(key)
+            if slots is not None:
+                # In-batch duplicate: encoded once below, counted as a hit
+                # (it would have hit the cache in the old per-pair loop).
+                self.cache_hits += 1
+                slots.append(idx)
+                continue
+            self.cache_misses += 1
+            miss_slots[key] = [idx]
+            miss_pairs.append((query, plan))
+        if miss_pairs:
+            encoded_batch = self._encode_batch(miss_pairs)
+            for (key, slots), encoded in zip(miss_slots.items(), encoded_batch):
+                self._cache[key] = encoded
+                if len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
+                for idx in slots:
+                    results[idx] = encoded
+        return results
 
     def clear_cache(self) -> None:
         self._cache.clear()
 
     def _encode_uncached(self, query: Query, plan: PlanNode) -> EncodedPlan:
-        nodes: List[PlanNode] = []
-        parents: Dict[int, int] = {}
-        structs: Dict[int, int] = {}
-        self._collect(plan, nodes, parents, structs, parent_index=None, as_left=None)
-        n = len(nodes)
-        if n > self.max_nodes:
-            raise ValueError(f"plan has {n} nodes, encoder limit is {self.max_nodes}")
+        return self._encode_batch([(query, plan)])[0]
 
-        enc = EncodedPlan(
-            ops=np.zeros(self.max_nodes, dtype=np.int64),
-            tables=np.zeros(self.max_nodes, dtype=np.int64),
-            join_left_col=np.zeros(self.max_nodes, dtype=np.int64),
-            join_right_col=np.zeros(self.max_nodes, dtype=np.int64),
-            filter_cols=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.int64),
-            filter_ops=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.int64),
-            filter_vals=np.zeros((self.max_nodes, MAX_FILTERS_PER_NODE), dtype=np.float64),
-            heights=np.zeros(self.max_nodes, dtype=np.int64),
-            structs=np.zeros(self.max_nodes, dtype=np.int64),
-            attention_mask=np.zeros((self.max_nodes, self.max_nodes), dtype=bool),
-            node_mask=np.zeros(self.max_nodes, dtype=bool),
-            num_nodes=n,
+    def _encode_batch(self, pairs: Sequence[Tuple[Query, PlanNode]]) -> List[EncodedPlan]:
+        """Encode ``pairs`` (no cache involvement) with vectorized writes.
+
+        One Python pass walks every plan tree collecting parallel id lists;
+        each feature field is then filled with a single fancy-indexed
+        assignment across the whole batch, and the reachability mask is
+        built by an iterative ancestor-pointer chase vectorized over all
+        nodes of all plans (loop length = max tree depth, not node count).
+        The returned ``EncodedPlan`` fields are row views of the shared
+        batch arrays.
+        """
+        n_max = self.max_nodes
+        batch = len(pairs)
+        # The six per-node int fields live in one zeroed block (views keep
+        # the per-field names); ditto the two int filter-slot fields.
+        int_block = np.zeros((batch, 6, n_max), dtype=np.int64)
+        ops, tables, join_left, join_right, heights, structs = (
+            int_block[:, 0], int_block[:, 1], int_block[:, 2],
+            int_block[:, 3], int_block[:, 4], int_block[:, 5],
         )
-        heights = self._heights(nodes)
-        for i, node in enumerate(nodes):
-            enc.node_mask[i] = True
-            enc.heights[i] = min(heights[i], self.max_nodes - 1)
-            enc.structs[i] = structs[i]
-            if isinstance(node, ScanNode):
-                op_id, table_id, fcols, fops, fvals = self._leaf_features(query, node)
-                enc.ops[i] = op_id
-                enc.tables[i] = table_id
-                enc.filter_cols[i] = fcols
-                enc.filter_ops[i] = fops
-                enc.filter_vals[i] = fvals
-            else:
-                assert isinstance(node, JoinNode)
-                enc.ops[i] = _JOIN_OP_IDS[node.method]
-                if node.predicates:
-                    predicate = node.predicates[0]
-                    left_table = query.tables[predicate.left.alias]
-                    right_table = query.tables[predicate.right.alias]
-                    enc.join_left_col[i] = self._column_ids[(left_table, predicate.left.column)]
-                    enc.join_right_col[i] = self._column_ids[(right_table, predicate.right.column)]
+        fint_block = np.zeros((batch, 2, n_max, MAX_FILTERS_PER_NODE), dtype=np.int64)
+        filter_cols, filter_ops = fint_block[:, 0], fint_block[:, 1]
+        filter_vals = np.zeros((batch, n_max, MAX_FILTERS_PER_NODE), dtype=np.float64)
+        attention = np.zeros((batch, n_max, n_max), dtype=bool)
+        node_mask = np.zeros((batch, n_max), dtype=bool)
+        parent_of = np.full((batch, n_max), -1, dtype=np.int64)
+        counts: List[int] = []
 
-        reach = self._reachability(parents, n)
-        enc.attention_mask[:n, :n] = reach
-        # Padding nodes attend only to themselves (keeps softmax well-defined).
-        for i in range(n, self.max_nodes):
-            enc.attention_mask[i, i] = True
-        return enc
+        # Parallel scatter lists collected in one walk over every tree.
+        all_u: List[int] = []
+        all_i: List[int] = []
+        all_parent: List[int] = []
+        all_struct: List[int] = []
+        all_op: List[int] = []
+        starts: List[int] = []
+        scan_u: List[int] = []
+        scan_i: List[int] = []
+        scan_table: List[int] = []
+        scan_fcols: List[np.ndarray] = []
+        scan_fops: List[np.ndarray] = []
+        scan_fvals: List[np.ndarray] = []
+        join_u: List[int] = []
+        join_i: List[int] = []
+        join_l: List[int] = []
+        join_r: List[int] = []
+
+        # Hot-loop local bindings (the walk visits every node of every plan).
+        append_u, append_i = all_u.append, all_i.append
+        append_struct, append_op = all_struct.append, all_op.append
+        column_ids = self._column_ids
+        leaf_features = self._leaf_features
+        join_op_ids = _JOIN_OP_IDS
+
+        for u, (query, plan) in enumerate(pairs):
+            starts.append(len(all_u))
+            # Iterative pre-order walk (node, parent index, is-left-child);
+            # right is pushed first so left pops first, matching recursion.
+            stack: List[Tuple[PlanNode, int, Optional[bool]]] = [(plan, -1, None)]
+            pop, push = stack.pop, stack.append
+            index = 0
+            query_tables = query.tables
+            while stack:
+                node, parent_index, as_left = pop()
+                i = index
+                index += 1
+                all_parent.append(parent_index)
+                append_u(u)
+                append_i(i)
+                if parent_index < 0:
+                    append_struct(STRUCT_ROOT)
+                elif as_left is None:
+                    append_struct(STRUCT_NO_SIBLING)
+                else:
+                    append_struct(STRUCT_LEFT if as_left else STRUCT_RIGHT)
+                if isinstance(node, JoinNode):
+                    append_op(join_op_ids[node.method])
+                    if node.predicates:
+                        predicate = node.predicates[0]
+                        pred_left, pred_right = predicate.left, predicate.right
+                        join_u.append(u)
+                        join_i.append(i)
+                        join_l.append(column_ids[(query_tables[pred_left.alias], pred_left.column)])
+                        join_r.append(column_ids[(query_tables[pred_right.alias], pred_right.column)])
+                    push((node.right, i, False))
+                    push((node.left, i, True))
+                else:
+                    assert isinstance(node, ScanNode)
+                    op_id, table_id, fc, fo, fv = leaf_features(query, node)
+                    append_op(op_id)
+                    scan_u.append(u)
+                    scan_i.append(i)
+                    scan_table.append(table_id)
+                    scan_fcols.append(fc)
+                    scan_fops.append(fo)
+                    scan_fvals.append(fv)
+            n = index
+            if n > n_max:
+                raise ValueError(f"plan has {n} nodes, encoder limit is {n_max}")
+            counts.append(n)
+
+        u_arr = np.asarray(all_u, dtype=np.int64)
+        i_arr = np.asarray(all_i, dtype=np.int64)
+        parent_arr = np.asarray(all_parent, dtype=np.int64)
+        structs[u_arr, i_arr] = all_struct
+        ops[u_arr, i_arr] = all_op
+        node_mask[u_arr, i_arr] = True
+        parent_of[u_arr, i_arr] = parent_arr
+
+        # Height = longest downward path to a leaf (h <= n - 1 <= n_max - 1,
+        # so no clip is needed).  Large batches propagate heights one level
+        # per ``maximum.at`` pass over every child->parent edge of every
+        # plan (loop length = max tree depth); small batches use a plain
+        # reverse pre-order list sweep, which beats numpy call overhead at
+        # that size.  Both produce identical integers.
+        if batch >= 8:
+            edge = parent_arr >= 0
+            eu, ei, ep = u_arr[edge], i_arr[edge], parent_arr[edge]
+            while True:
+                lifted = heights[eu, ei] + 1
+                if (lifted <= heights[eu, ep]).all():
+                    break
+                np.maximum.at(heights, (eu, ep), lifted)
+        else:
+            for u, (start, n) in enumerate(zip(starts, counts)):
+                parents_local = all_parent[start : start + n]
+                h = [0] * n
+                for i in range(n - 1, 0, -1):
+                    p = parents_local[i]
+                    lifted = h[i] + 1
+                    if h[p] < lifted:
+                        h[p] = lifted
+                heights[u, :n] = h
+        if scan_u:
+            su = np.asarray(scan_u, dtype=np.int64)
+            si = np.asarray(scan_i, dtype=np.int64)
+            tables[su, si] = scan_table
+            filter_cols[su, si] = np.stack(scan_fcols)
+            filter_ops[su, si] = np.stack(scan_fops)
+            filter_vals[su, si] = np.stack(scan_fvals)
+        if join_u:
+            ju = np.asarray(join_u, dtype=np.int64)
+            ji = np.asarray(join_i, dtype=np.int64)
+            join_left[ju, ji] = join_l
+            join_right[ju, ji] = join_r
+
+        # Reachability: every node may attend to itself (real and padding
+        # rows alike) and to its ancestors/descendants.  Chase the ancestor
+        # pointers of all nodes of all plans at once.
+        diag = np.arange(n_max)
+        attention[:, diag, diag] = True
+        uu, ii = u_arr, i_arr
+        anc = parent_arr
+        while True:
+            live = anc >= 0
+            if not live.any():
+                break
+            uu, ii, aa = uu[live], ii[live], anc[live]
+            attention[uu, ii, aa] = True
+            attention[uu, aa, ii] = True
+            anc = parent_of[uu, aa]
+
+        return [
+            EncodedPlan(
+                ops=ops[u],
+                tables=tables[u],
+                join_left_col=join_left[u],
+                join_right_col=join_right[u],
+                filter_cols=filter_cols[u],
+                filter_ops=filter_ops[u],
+                filter_vals=filter_vals[u],
+                heights=heights[u],
+                structs=structs[u],
+                attention_mask=attention[u],
+                node_mask=node_mask[u],
+                num_nodes=counts[u],
+                int_block=int_block[u],
+                fint_block=fint_block[u],
+            )
+            for u in range(batch)
+        ]
 
     def _leaf_features(
         self, query: Query, node: ScanNode
@@ -195,9 +369,8 @@ class PlanEncoder:
         key = (query.signature(), plan_signature(node))
         cached = self._leaf_cache.get(key)
         if cached is not None:
+            self._leaf_cache.move_to_end(key)
             return cached
-        if len(self._leaf_cache) >= self.cache_capacity:
-            self._leaf_cache.clear()
         fcols = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.int64)
         fops = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.int64)
         fvals = np.zeros(MAX_FILTERS_PER_NODE, dtype=np.float64)
@@ -209,64 +382,9 @@ class PlanEncoder:
         op_id = OP_INDEX_SCAN if node.scan_type == "index" else OP_SEQ_SCAN
         features = (op_id, self._table_ids[node.table], fcols, fops, fvals)
         self._leaf_cache[key] = features
+        if len(self._leaf_cache) > self.cache_capacity:
+            self._leaf_cache.popitem(last=False)
         return features
-
-    # ------------------------------------------------------------------
-    def _collect(
-        self,
-        node: PlanNode,
-        nodes: List[PlanNode],
-        parents: Dict[int, int],
-        structs: Dict[int, int],
-        parent_index: Optional[int],
-        as_left: Optional[bool],
-    ) -> int:
-        """Pre-order walk recording parent links and structure types."""
-        index = len(nodes)
-        nodes.append(node)
-        if parent_index is None:
-            structs[index] = STRUCT_ROOT
-        elif as_left is None:
-            structs[index] = STRUCT_NO_SIBLING
-        else:
-            structs[index] = STRUCT_LEFT if as_left else STRUCT_RIGHT
-        if parent_index is not None:
-            parents[index] = parent_index
-        if isinstance(node, JoinNode):
-            self._collect(node.left, nodes, parents, structs, index, as_left=True)
-            self._collect(node.right, nodes, parents, structs, index, as_left=False)
-        return index
-
-    @staticmethod
-    def _heights(nodes: List[PlanNode]) -> List[int]:
-        """Height = longest downward path to a leaf, per node."""
-        heights: Dict[int, int] = {}
-
-        def height_of(node: PlanNode) -> int:
-            key = id(node)
-            if key in heights:
-                return heights[key]
-            if isinstance(node, JoinNode):
-                value = 1 + max(height_of(node.left), height_of(node.right))
-            else:
-                value = 0
-            heights[key] = value
-            return value
-
-        return [height_of(node) for node in nodes]
-
-    @staticmethod
-    def _reachability(parents: Dict[int, int], n: int) -> np.ndarray:
-        """True where i is an ancestor/descendant of j (or i == j)."""
-        reach = np.eye(n, dtype=bool)
-        # ancestors[i] = chain of parents up to the root
-        for i in range(n):
-            j = i
-            while j in parents:
-                j = parents[j]
-                reach[i, j] = True
-                reach[j, i] = True
-        return reach
 
     def _normalize(self, table: str, column: str, value: float) -> float:
         if self.statistics is None or table not in self.statistics:

@@ -150,16 +150,17 @@ class _InferenceEnvironment:
         return [resolved[key] for key in keys]
 
     def _statevecs(self, items) -> np.ndarray:
-        return self.aam.statevecs_cached(
+        return self.aam.statevecs_lazy(
             [
                 (
                     query.signature(),
                     plan_signature(plan),
-                    self.encoder.encode(query, plan),
+                    (query, plan),
                     step / self.max_steps,
                 )
                 for query, plan, step in items
-            ]
+            ],
+            self.encoder,
         )
 
     def advantage(self, ctx, left_plan, left_step, right_plan, right_step) -> int:

@@ -127,12 +127,12 @@ class Planner:
                 miss_keys.append(key)
                 miss_requests.append(request)
         if miss_requests:
-            encoded = self.encoder.encode_many([(q, p) for q, p, _ in miss_requests])
-            vecs = self.aam.statevecs_cached(
+            vecs = self.aam.statevecs_lazy(
                 [
-                    (key[1], key[2], enc, step / self.config.max_steps)
-                    for key, enc, (_, _, step) in zip(miss_keys, encoded, miss_requests)
-                ]
+                    (key[1], key[2], (query, plan), step / self.config.max_steps)
+                    for key, (query, plan, step) in zip(miss_keys, miss_requests)
+                ],
+                self.encoder,
             )
             if len(self._statevec_cache) + len(miss_keys) > self.statevec_cache_capacity:
                 self._statevec_cache.clear()

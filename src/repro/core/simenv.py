@@ -324,17 +324,19 @@ class SimulatedEnvironment:
 
     def _statevecs(self, items: Sequence[Tuple[Query, PlanNode, int]]) -> np.ndarray:
         """Statevecs for (query, plan, step) triples via the AAM's shared
-        version-keyed cache (also hit by the planner's policy states)."""
-        return self.aam.statevecs_cached(
+        version-keyed cache (also hit by the planner's policy states).
+        Cache hits skip plan encoding entirely (lazy miss-only encoding)."""
+        return self.aam.statevecs_lazy(
             [
                 (
                     query.signature(),
                     plan_signature(plan),
-                    self.encoder.encode(query, plan),
+                    (query, plan),
                     step / self.max_steps,
                 )
                 for query, plan, step in items
-            ]
+            ],
+            self.encoder,
         )
 
     def advantage(

@@ -1,12 +1,29 @@
-"""Stateless differentiable functions built on :mod:`repro.nn.tensor`."""
+"""Stateless differentiable functions built on :mod:`repro.nn.tensor`.
+
+Besides the loss/softmax helpers this module hosts the two fused inference
+kernels (:func:`fused_linear`, :func:`fused_attention`).  Each one runs its
+whole forward as plain numpy expressions — the *same* expressions the
+unfused ``Tensor`` op chain evaluates, so outputs are bitwise-identical —
+and, when gradients are on, registers a single tape node whose backward
+composes the unfused ops' backward passes exactly.
+"""
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, concatenate, stack, where  # re-exported
+from repro.nn import profile as _profile
+from repro.nn.tensor import (  # noqa: F401 - concatenate/stack/where re-exported
+    Tensor,
+    _sum_to_shape,
+    concatenate,
+    is_grad_enabled,
+    stack,
+    where,
+)
 
 __all__ = [
     "softmax",
@@ -16,6 +33,8 @@ __all__ = [
     "mse_loss",
     "huber_loss",
     "masked_softmax",
+    "fused_linear",
+    "fused_attention",
     "concatenate",
     "stack",
     "where",
@@ -25,6 +44,12 @@ __all__ = [
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if not is_grad_enabled() or not logits.requires_grad:
+        # Same expression sequence as the tape path below, minus the four
+        # intermediate Tensor wrappers — bitwise-identical output.
+        shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return Tensor._inference(exp / exp.sum(axis=axis, keepdims=True))
     shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -32,8 +57,135 @@ def softmax(logits: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    if not is_grad_enabled() or not logits.requires_grad:
+        shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+        return Tensor._inference(
+            shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        )
     shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def fused_linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """``activation(x @ weight + bias)`` as one kernel / one tape node.
+
+    Forward runs the identical numpy expressions as the unfused chain
+    (``x @ W`` → ``+ b`` → ``.relu()``/``.tanh()``), so outputs are
+    bitwise-equal; backward composes the unfused ops' gradients in the
+    same order the tape would, so parameter gradients match too.
+    ``activation`` is ``None``, ``"relu"`` or ``"tanh"``.
+    """
+    profiling = _profile.ENABLED
+    t0 = time.perf_counter() if profiling else 0.0
+    pre = x.data @ weight.data
+    if bias is not None:
+        pre = pre + bias.data
+    if activation is None:
+        out_data = pre
+    elif activation == "relu":
+        out_data = np.maximum(pre, 0.0)
+    elif activation == "tanh":
+        out_data = np.tanh(pre)
+    else:
+        raise ValueError(f"unknown fused activation: {activation!r}")
+    if profiling:
+        _profile.record("fused_linear", out_data.nbytes, time.perf_counter() - t0)
+    requires = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not requires:
+        return Tensor._inference(out_data)
+
+    xd, wd = x.data, weight.data
+
+    def backward(grad: np.ndarray) -> None:
+        # activation backward (identical to Tensor.relu/tanh closures)
+        if activation == "relu":
+            g = grad * (pre > 0)
+        elif activation == "tanh":
+            g = grad * (1.0 - out_data**2)
+        else:
+            g = grad
+        # bias backward (the `+ bias` add node); _accumulate broadcasts down
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g)
+        # matmul backward, mirroring Tensor.__matmul__'s branches
+        if weight.requires_grad:
+            if xd.ndim == 1:
+                weight._accumulate(np.outer(xd, g))
+            else:
+                weight._accumulate(np.swapaxes(xd, -1, -2) @ g)
+        if x.requires_grad:
+            x._accumulate(g @ np.swapaxes(wd, -1, -2))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._node(out_data, parents, backward)
+
+
+def fused_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    additive: Optional[np.ndarray],
+    scale: float,
+) -> Tensor:
+    """Scaled-dot-product attention (scores → softmax → context) fused.
+
+    Computes ``softmax(q @ k^T * scale + additive) @ v`` with the exact
+    numpy expression sequence of the unfused Tensor chain (transpose,
+    matmul, scalar mul, constant add, shifted softmax, matmul), yielding
+    bitwise-identical outputs.  ``additive`` is a constant mask term
+    (e.g. ``0/-1e9``) broadcastable to the score shape, or ``None``.
+    Backward composes the chain's closures exactly, in tape order.
+    """
+    profiling = _profile.ENABLED
+    t0 = time.perf_counter() if profiling else 0.0
+    qd, kd, vd = q.data, k.data, v.data
+    kt = np.swapaxes(kd, -2, -1)
+    scores = (qd @ kt) * scale
+    if additive is not None:
+        scores = scores + additive
+    mx = scores.max(axis=-1, keepdims=True)
+    shifted = scores - mx
+    e = np.exp(shifted)
+    sm = e.sum(axis=-1, keepdims=True)
+    attn = e / sm
+    out_data = attn @ vd
+    if profiling:
+        _profile.record("fused_attention", out_data.nbytes, time.perf_counter() - t0)
+    requires = is_grad_enabled() and (
+        q.requires_grad or k.requires_grad or v.requires_grad
+    )
+    if not requires:
+        return Tensor._inference(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        # ctx = attn @ v
+        gattn = grad @ np.swapaxes(vd, -1, -2)
+        if v.requires_grad:
+            v._accumulate(np.swapaxes(attn, -1, -2) @ grad)
+        # attn = e / sm : div backward contributes to e and sm, then the
+        # sum node folds sm's grad back into e (same order as the tape).
+        ge = gattn / sm
+        gsm = _sum_to_shape(-gattn * e / (sm**2), sm.shape)
+        ge = ge + np.broadcast_to(gsm, e.shape)
+        # e = exp(shifted); shift/mask-add are constants, mul is by scale
+        gshifted = ge * e
+        gs0 = gshifted * scale
+        # s0 = q @ k^T
+        if q.requires_grad:
+            q._accumulate(gs0 @ kd)
+        if k.requires_grad:
+            k._accumulate(np.swapaxes(np.swapaxes(qd, -1, -2) @ gs0, -2, -1))
+
+    return Tensor._node(out_data, (q, k, v), backward)
 
 
 def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:

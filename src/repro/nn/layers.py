@@ -9,13 +9,15 @@ QueryFormer-style state network.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import init
-from repro.nn.tensor import Tensor, concatenate
-from repro.nn.functional import softmax
+from repro.nn import profile as _profile
+from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.functional import fused_attention, fused_linear
 
 
 class Parameter(Tensor):
@@ -124,10 +126,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return fused_linear(x, self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -161,6 +160,21 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Same expression sequence as the tape path (sum * 1/d, ** 0.5)
+            # so outputs stay bitwise-identical.
+            profiling = _profile.ENABLED
+            t0 = time.perf_counter() if profiling else 0.0
+            d = x.data
+            inv = 1.0 / d.shape[-1]
+            mean = d.sum(axis=-1, keepdims=True) * inv
+            centered = d - mean
+            var = (centered * centered).sum(axis=-1, keepdims=True) * inv
+            normed = centered / (var + self.eps) ** 0.5
+            out_data = normed * self.gamma.data + self.beta.data
+            if profiling:
+                _profile.record("layernorm_inf", out_data.nbytes, time.perf_counter() - t0)
+            return Tensor._inference(out_data)
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         var = (centered * centered).mean(axis=-1, keepdims=True)
@@ -196,18 +210,45 @@ class Dropout(Module):
 
 
 class Sequential(Module):
-    """Chain of modules applied in order."""
+    """Chain of modules applied in order.
+
+    Adjacent ``Linear`` → ``ReLU``/``Tanh`` pairs are executed through the
+    :func:`fused_linear` kernel (one tape node / one inference tensor
+    instead of three).  The fusion is purely an execution plan: module
+    structure, parameter names and init order are unchanged, and the fused
+    kernel's outputs and gradients are bitwise-equal to the unfused chain.
+    """
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()
         self._layers: List[Module] = []
+        self._fusion_plan: Optional[List[Tuple[str, Module, Optional[str]]]] = None
         for index, module in enumerate(modules):
             setattr(self, f"layer{index}", module)
             self._layers.append(module)
 
+    def _build_fusion_plan(self) -> List[Tuple[str, Module, Optional[str]]]:
+        plan: List[Tuple[str, Module, Optional[str]]] = []
+        i = 0
+        while i < len(self._layers):
+            layer = self._layers[i]
+            nxt = self._layers[i + 1] if i + 1 < len(self._layers) else None
+            if isinstance(layer, Linear) and isinstance(nxt, (ReLU, Tanh)):
+                plan.append(("fused", layer, "relu" if isinstance(nxt, ReLU) else "tanh"))
+                i += 2
+            else:
+                plan.append(("call", layer, None))
+                i += 1
+        return plan
+
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self._layers:
-            x = layer(x)
+        if self._fusion_plan is None:
+            self._fusion_plan = self._build_fusion_plan()
+        for kind, layer, activation in self._fusion_plan:
+            if kind == "fused":
+                x = fused_linear(x, layer.weight, layer.bias, activation)
+            else:
+                x = layer(x)
         return x
 
     def __iter__(self) -> Iterator[Module]:
@@ -238,30 +279,68 @@ class MultiHeadAttention(Module):
         self.v_proj = Linear(dim, dim, rng=rng)
         self.out_proj = Linear(dim, dim, rng=rng)
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        additive: Optional[np.ndarray] = None,
+    ) -> Tensor:
         """Attend over nodes.
 
         ``x`` is (nodes, dim) or batched (batch, nodes, dim); ``mask`` is a
         boolean (nodes, nodes) or (batch, nodes, nodes) array where True marks
-        pairs allowed to attend to each other.
+        pairs allowed to attend to each other.  Callers that apply the same
+        mask to several attention layers may pass the precomputed
+        ``additive`` term (``np.where(mask, 0.0, -1e9)[:, None, :, :]``)
+        instead, which skips rebuilding it per layer.
         """
         squeeze = x.ndim == 2
+        if additive is None and mask is not None:
+            mask_arr = np.asarray(mask, dtype=bool)
+            if mask_arr.ndim == 2:
+                mask_arr = mask_arr[None, :, :]
+            additive = np.where(mask_arr, 0.0, -1e9)[:, None, :, :]
+        scale = 1.0 / math.sqrt(self.head_dim)
+        heads, head_dim = self.num_heads, self.head_dim
+
+        if not is_grad_enabled():
+            # Whole block as one numpy expression chain — the identical
+            # expression sequence as the tape path below (projection, scaled
+            # scores, masked shifted softmax, context, merge), so outputs
+            # are bitwise-equal.
+            profiling = _profile.ENABLED
+            t0 = time.perf_counter() if profiling else 0.0
+            xd = x.data
+            if squeeze:
+                xd = xd.reshape(1, *xd.shape)
+            b, n, _ = xd.shape
+            qd = np.swapaxes((xd @ self.q_proj.weight.data + self.q_proj.bias.data).reshape(b, n, heads, head_dim), 1, 2)
+            kd = np.swapaxes((xd @ self.k_proj.weight.data + self.k_proj.bias.data).reshape(b, n, heads, head_dim), 1, 2)
+            vd = np.swapaxes((xd @ self.v_proj.weight.data + self.v_proj.bias.data).reshape(b, n, heads, head_dim), 1, 2)
+            scores = (qd @ np.swapaxes(kd, -2, -1)) * scale
+            if additive is not None:
+                scores = scores + additive
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            attn = e / e.sum(axis=-1, keepdims=True)
+            merged = np.swapaxes(attn @ vd, 1, 2).reshape(b, n, self.dim)
+            out = merged @ self.out_proj.weight.data + self.out_proj.bias.data
+            if squeeze:
+                out = out.reshape(n, self.dim)
+            if profiling:
+                _profile.record("attention_inf", out.nbytes, time.perf_counter() - t0)
+            return Tensor._inference(out)
+
         if squeeze:
             x = x.reshape(1, *x.shape)
         b, n, _ = x.shape
         # (b, n, dim) -> (b, heads, n, head_dim)
-        q = self.q_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
-        k = self.k_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
-        v = self.v_proj(x).reshape(b, n, self.num_heads, self.head_dim).transpose(1, 2)
-        scores = (q @ k.transpose(-2, -1)) * (1.0 / math.sqrt(self.head_dim))
-        if mask is not None:
-            mask_arr = np.asarray(mask, dtype=bool)
-            if mask_arr.ndim == 2:
-                mask_arr = mask_arr[None, :, :]
-            additive = np.where(mask_arr, 0.0, -1e9)
-            scores = scores + Tensor(additive[:, None, :, :])
-        attn = softmax(scores, axis=-1)
-        context = attn @ v  # (b, heads, n, head_dim)
+        q = self.q_proj(x).reshape(b, n, heads, head_dim).transpose(1, 2)
+        k = self.k_proj(x).reshape(b, n, heads, head_dim).transpose(1, 2)
+        v = self.v_proj(x).reshape(b, n, heads, head_dim).transpose(1, 2)
+        # One kernel for score -> mask -> softmax -> context; bitwise-equal
+        # to the unfused transpose/matmul/softmax chain it replaced.
+        context = fused_attention(q, k, v, additive, scale)  # (b, heads, n, head_dim)
         merged = context.transpose(1, 2).reshape(b, n, self.dim)
         out = self.out_proj(merged)
         if squeeze:
@@ -279,7 +358,11 @@ class FeedForward(Module):
         self.fc2 = Linear(hidden, dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(self.fc1(x).relu())
+        return fused_linear(
+            fused_linear(x, self.fc1.weight, self.fc1.bias, "relu"),
+            self.fc2.weight,
+            self.fc2.bias,
+        )
 
 
 class TransformerEncoderLayer(Module):
@@ -293,8 +376,13 @@ class TransformerEncoderLayer(Module):
         self.norm1 = LayerNorm(dim)
         self.norm2 = LayerNorm(dim)
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attn(self.norm1(x), mask=mask)
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        additive: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask=mask, additive=additive)
         x = x + self.ff(self.norm2(x))
         return x
 

@@ -5,34 +5,49 @@ reproduction.  Every differentiable operation records a backward closure;
 :meth:`Tensor.backward` topologically sorts the tape and accumulates
 gradients.  Only float64 tensors participate in differentiation, which keeps
 gradient checks tight in the test suite.
+
+Inference fast path: when gradients are disabled (``no_grad``) or no input
+requires a gradient, every op skips graph construction entirely — no
+backward closure is allocated, no parent tuple is kept, and the result is
+built through :meth:`Tensor._inference` (a slotted ``__new__`` constructor
+that bypasses ``__init__``'s array coercion).  The numpy expressions are
+identical in both modes, so fast-path outputs are bitwise-equal to the
+tape path's.
+
+Grad mode is tracked in a :class:`contextvars.ContextVar`, so a training
+thread inside ``no_grad`` cannot flip inference mode under a concurrently
+serving thread (each thread — and each asyncio task — sees its own flag).
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn import profile as _profile
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_nn_grad_enabled", default=True
+)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def _as_array(data: ArrayLike) -> np.ndarray:
@@ -79,11 +94,50 @@ class Tensor:
         name: str = "",
     ) -> None:
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
         self.grad: Optional[np.ndarray] = None
         self._parents = tuple(_parents) if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+
+    # ------------------------------------------------------------------
+    # fast constructors (internal)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _inference(data: np.ndarray) -> "Tensor":
+        """Graph-free result wrapper for the inference fast path.
+
+        ``data`` must already be a float64 ndarray (ops guarantee this);
+        skipping ``__init__`` avoids the coercion/flag work per op.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = False
+        out.grad = None
+        out._parents = ()
+        out._backward = None
+        out.name = ""
+        if _profile.ENABLED:
+            _profile.COUNTERS.inference_tensors += 1
+        return out
+
+    @staticmethod
+    def _node(
+        data: np.ndarray,
+        parents: tuple,
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Tape-node constructor; every differentiable op funnels through
+        here, so ``profile.COUNTERS.tape_nodes`` counts the whole tape."""
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = True
+        out.grad = None
+        out._parents = parents
+        out._backward = backward
+        out.name = ""
+        _profile.COUNTERS.tape_nodes += 1
+        return out
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -162,17 +216,24 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         if not requires:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+            return Tensor._inference(_as_array(data))
+        return Tensor._node(_as_array(data), tuple(parents), backward)
 
     # ------------------------------------------------------------------
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data + other_t.data
+        other_is_tensor = isinstance(other, Tensor)
+        out_data = self.data + (other.data if other_is_tensor else _as_array(other))
+        if _profile.ENABLED:
+            _profile.record("add", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not (
+            self.requires_grad or (other_is_tensor and other.requires_grad)
+        ):
+            return Tensor._inference(out_data)
+        other_t = other if other_is_tensor else Tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -180,22 +241,33 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(grad)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._node(out_data, (self, other_t), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
+        if _profile.ENABLED:
+            _profile.record("neg", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data - other_t.data
+        other_is_tensor = isinstance(other, Tensor)
+        out_data = self.data - (other.data if other_is_tensor else _as_array(other))
+        if _profile.ENABLED:
+            _profile.record("sub", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not (
+            self.requires_grad or (other_is_tensor and other.requires_grad)
+        ):
+            return Tensor._inference(out_data)
+        other_t = other if other_is_tensor else Tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -203,14 +275,22 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(-grad)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._node(out_data, (self, other_t), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) - self
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data * other_t.data
+        other_is_tensor = isinstance(other, Tensor)
+        other_data = other.data if other_is_tensor else _as_array(other)
+        out_data = self.data * other_data
+        if _profile.ENABLED:
+            _profile.record("mul", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not (
+            self.requires_grad or (other_is_tensor and other.requires_grad)
+        ):
+            return Tensor._inference(out_data)
+        other_t = other if other_is_tensor else Tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -218,13 +298,21 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(grad * self.data)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._node(out_data, (self, other_t), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data / other_t.data
+        other_is_tensor = isinstance(other, Tensor)
+        other_data = other.data if other_is_tensor else _as_array(other)
+        out_data = self.data / other_data
+        if _profile.ENABLED:
+            _profile.record("div", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not (
+            self.requires_grad or (other_is_tensor and other.requires_grad)
+        ):
+            return Tensor._inference(out_data)
+        other_t = other if other_is_tensor else Tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -232,23 +320,35 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(-grad * self.data / (other_t.data**2))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._node(out_data, (self, other_t), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         out_data = self.data**exponent
+        if _profile.ENABLED:
+            _profile.record("pow", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data @ other_t.data
+        other_is_tensor = isinstance(other, Tensor)
+        other_data = other.data if other_is_tensor else _as_array(other)
+        out_data = self.data @ other_data
+        if _profile.ENABLED:
+            _profile.record("matmul", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not (
+            self.requires_grad or (other_is_tensor and other.requires_grad)
+        ):
+            return Tensor._inference(out_data)
+        other_t = other if other_is_tensor else Tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -262,7 +362,7 @@ class Tensor:
                 else:
                     other_t._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._node(out_data, (self, other_t), backward)
 
     # ------------------------------------------------------------------
     # shape ops
@@ -272,21 +372,29 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.data.shape
         out_data = self.data.reshape(shape)
+        if _profile.ENABLED:
+            _profile.record("reshape")
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
         out_data = np.swapaxes(self.data, axis1, axis2)
+        if _profile.ENABLED:
+            _profile.record("transpose")
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(np.swapaxes(grad, axis1, axis2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     @property
     def T(self) -> "Tensor":
@@ -294,6 +402,10 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if _profile.ENABLED:
+            _profile.record("getitem", out_data.nbytes if isinstance(out_data, np.ndarray) else 0)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -301,13 +413,17 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # reductions & elementwise
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if _profile.ENABLED:
+            _profile.record("sum")
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -317,7 +433,7 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             self._accumulate(np.broadcast_to(g, self.data.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -328,6 +444,10 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if _profile.ENABLED:
+            _profile.record("max")
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -341,74 +461,102 @@ class Tensor:
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
             self._accumulate(mask * g)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if _profile.ENABLED:
+            _profile.record("exp", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if _profile.ENABLED:
+            _profile.record("log", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if _profile.ENABLED:
+            _profile.record("tanh", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
         out_data = np.maximum(self.data, 0.0)
+        if _profile.ENABLED:
+            _profile.record("relu", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (self.data > 0))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if _profile.ENABLED:
+            _profile.record("sigmoid", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
+        if _profile.ENABLED:
+            _profile.record("clip", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 inside = (self.data >= low) & (self.data <= high)
                 self._accumulate(grad * inside)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
+        if _profile.ENABLED:
+            _profile.record("abs", out_data.nbytes)
+        if not _GRAD_ENABLED.get() or not self.requires_grad:
+            return Tensor._inference(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._node(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # comparisons (non-differentiable, return plain arrays)
@@ -446,10 +594,12 @@ def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    if _profile.ENABLED:
+        _profile.record("concatenate", out_data.nbytes)
 
     def backward(grad: np.ndarray) -> None:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             if t.requires_grad:
                 index = [slice(None)] * grad.ndim
@@ -463,6 +613,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if _profile.ENABLED:
+        _profile.record("stack", out_data.nbytes)
 
     def backward(grad: np.ndarray) -> None:
         slabs = np.split(grad, len(tensors), axis=axis)
@@ -479,6 +631,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b_t = b if isinstance(b, Tensor) else Tensor(b)
     cond = np.asarray(condition, dtype=bool)
     out_data = np.where(cond, a_t.data, b_t.data)
+    if _profile.ENABLED:
+        _profile.record("where", out_data.nbytes)
 
     def backward(grad: np.ndarray) -> None:
         if a_t.requires_grad:

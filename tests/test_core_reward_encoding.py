@@ -201,3 +201,131 @@ class TestPlanEncoding:
         a = encoder.encode(query, plan)
         b = encoder.encode(query, alt)
         assert not np.array_equal(a.ops, b.ops)
+
+
+class TestBatchEncoderParity:
+    """The vectorized batch encoder must match per-plan reference encoding."""
+
+    def _pairs(self, job_workload, n):
+        db = job_workload.database
+        eligible = [w for w in job_workload.all_queries if w.query.num_tables >= 3]
+        return [(w.query, db.plan(w.query).plan) for w in eligible[:n]]
+
+    def test_encode_many_matches_encode(self, job_workload):
+        """A >=8 batch (vectorized heights path) vs one-at-a-time encoding."""
+        db = job_workload.database
+        pairs = self._pairs(job_workload, 10)
+        assert len(pairs) >= 8
+        batch_enc = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        single_enc = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        batched = batch_enc.encode_many(pairs)
+        for (query, plan), enc in zip(pairs, batched):
+            ref = single_enc.encode(query, plan)
+            assert enc.num_nodes == ref.num_nodes
+            for field in (
+                "ops", "tables", "join_left_col", "join_right_col",
+                "filter_cols", "filter_ops", "filter_vals",
+                "heights", "structs", "attention_mask", "node_mask",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(enc, field), getattr(ref, field), err_msg=field
+                )
+
+    def test_packed_blocks_view_the_named_fields(self, job_workload):
+        """int_block/fint_block rows must alias the per-field arrays."""
+        db = job_workload.database
+        encoder = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        query, plan = self._pairs(job_workload, 1)[0]
+        enc = encoder.encode(query, plan)
+        assert enc.int_block is not None and enc.fint_block is not None
+        for row, field in enumerate(
+            ("ops", "tables", "join_left_col", "join_right_col", "heights", "structs")
+        ):
+            np.testing.assert_array_equal(enc.int_block[row], getattr(enc, field))
+        np.testing.assert_array_equal(enc.fint_block[0], enc.filter_cols)
+        np.testing.assert_array_equal(enc.fint_block[1], enc.filter_ops)
+
+    def test_reachability_matches_python_reference(self, job_workload):
+        """The iterative ancestor chase equals a per-plan Python closure."""
+        from repro.optimizer.plans import JoinNode
+
+        db = job_workload.database
+        encoder = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        for query, plan in self._pairs(job_workload, 9):
+            enc = encoder.encode(query, plan)
+            # Mirror the encoder's pre-order walk to recover parent pointers.
+            parents = []
+            stack = [(plan, -1)]
+            while stack:
+                node, parent = stack.pop()
+                i = len(parents)
+                parents.append(parent)
+                if isinstance(node, JoinNode):
+                    stack.append((node.right, i))
+                    stack.append((node.left, i))
+            n = len(parents)
+            ref = np.zeros((40, 40), dtype=bool)
+            np.fill_diagonal(ref, True)  # reflexive over padding too
+            for i in range(n):
+                a = parents[i]
+                while a >= 0:
+                    ref[i, a] = ref[a, i] = True
+                    a = parents[a]
+            np.testing.assert_array_equal(enc.attention_mask, ref)
+
+    def test_heights_small_and_large_batch_agree(self, job_workload):
+        """batch<8 (list sweep) and batch>=8 (fixpoint) give the same ints."""
+        db = job_workload.database
+        pairs = self._pairs(job_workload, 9)
+        small = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        large = PlanEncoder(db.schema, max_nodes=40, statistics=db.statistics)
+        large_encs = large.encode_many(pairs)
+        for (query, plan), big in zip(pairs, large_encs):
+            np.testing.assert_array_equal(
+                small.encode_many([(query, plan)])[0].heights, big.heights
+            )
+
+
+class TestLeafCacheLRU:
+    """`_leaf_cache` keeps recently-touched scan features past capacity."""
+
+    def _alt_plan(self, db, query, plan):
+        from repro.core.icp import IncompletePlan
+
+        icp = IncompletePlan.extract(plan)
+        current = icp.methods[0]
+        other = next(m for m in ("hash", "merge", "nestloop") if m != current)
+        return db.plan_with_hints(query, icp.order, (other,) + icp.methods[1:]).plan
+
+    def test_recently_used_leaves_survive_eviction(self, job_workload):
+        db = job_workload.database
+        eligible = [w for w in job_workload.all_queries if w.query.num_tables >= 3]
+        (q1, p1), (q2, p2), (q3, p3) = (
+            (w.query, db.plan(w.query).plan) for w in eligible[:3]
+        )
+        cap = q1.num_tables + q2.num_tables
+        encoder = PlanEncoder(
+            db.schema, max_nodes=40, statistics=db.statistics, cache_capacity=cap
+        )
+        encoder.encode(q1, p1)
+        keys_q1 = set(encoder._leaf_cache)
+        encoder.encode(q2, p2)
+        assert len(encoder._leaf_cache) == cap
+        # Touch q1's leaves again through a different plan of the same query
+        # (leaf features are join-order/method-invariant, so this hits).
+        encoder.encode(q1, self._alt_plan(db, q1, p1))
+        assert set(encoder._leaf_cache) >= keys_q1
+        # Overflow: the least-recently-used entries (q2's) are evicted first.
+        encoder.encode(q3, p3)
+        assert len(encoder._leaf_cache) <= cap
+        assert keys_q1 <= set(encoder._leaf_cache)
+
+    def test_leaf_cache_bounded(self, job_workload):
+        db = job_workload.database
+        encoder = PlanEncoder(
+            db.schema, max_nodes=40, statistics=db.statistics, cache_capacity=5
+        )
+        for w in [w for w in job_workload.all_queries if w.query.num_tables >= 3][:6]:
+            encoder.encode(w.query, db.plan(w.query).plan)
+        assert len(encoder._leaf_cache) <= 5
+        assert len(encoder._cache) <= 5

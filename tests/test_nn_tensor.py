@@ -237,3 +237,67 @@ def test_matmul_shape_property(n, m):
     assert out.shape == (n, 3)
     out.sum().backward()
     assert a.grad.shape == (n, m)
+
+
+class TestNoGradThreadIsolation:
+    """`no_grad` is a ContextVar: one thread's inference mode must never
+    leak into a concurrently training thread."""
+
+    def test_interleaved_threads_keep_independent_grad_modes(self):
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        barrier = threading.Barrier(2, timeout=10)
+        results = {}
+        errors = []
+
+        def infer():
+            try:
+                with no_grad():
+                    barrier.wait()  # A: both threads are in their regions
+                    t = Tensor(np.ones(3), requires_grad=True)
+                    results["infer_taped"] = (t * 2.0).sum().requires_grad
+                    results["infer_enabled"] = is_grad_enabled()
+                    barrier.wait()  # B: hold no_grad open while trainer runs
+                    barrier.wait()  # C: trainer has finished its backward
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+                barrier.abort()
+
+        def train():
+            try:
+                barrier.wait()  # A
+                barrier.wait()  # B: the other thread is *inside* no_grad now
+                t = Tensor(np.ones(3), requires_grad=True)
+                out = (t * 2.0).sum()
+                results["train_taped"] = out.requires_grad
+                results["train_enabled"] = is_grad_enabled()
+                out.backward()
+                results["train_grad"] = None if t.grad is None else t.grad.copy()
+                barrier.wait()  # C
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [threading.Thread(target=f) for f in (infer, train)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=30)
+        assert not errors, errors
+        # The inference thread saw grads off...
+        assert results["infer_enabled"] is False
+        assert results["infer_taped"] is False
+        # ...while the training thread, running concurrently, kept a tape.
+        assert results["train_enabled"] is True
+        assert results["train_taped"] is True
+        np.testing.assert_allclose(results["train_grad"], [2.0, 2.0, 2.0])
+
+    def test_no_grad_restores_mode_after_exception(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
