@@ -2,11 +2,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="foss-repro",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'FOSS: A Self-Learned Doctor for Query Optimizer' "
-        "(ICDE 2024) with a SQL-text-in / plan-out serving API (repro.api) "
-        "and a socket-served remote engine (repro.engine.remote)"
+        "(ICDE 2024) with a SQL-text-in / plan-out serving API (repro.api), "
+        "a socket-served remote engine (repro.engine.remote), and an "
+        "AST-based invariant checker (repro-lint)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -18,6 +19,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-engine = repro.engine.remote.server:main",
+            "repro-lint = repro.analysis.cli:main",
         ],
     },
 )

@@ -1,0 +1,83 @@
+"""``repro.analysis`` — the ``repro-lint`` static invariant checker.
+
+Every hard guarantee this reproduction makes is a *contract* that used
+to live in comments and be enforced only by whichever test happened to
+exercise the offending path.  This package turns those contracts into
+AST-checked rules that run in CI on every push (``repro-lint``, next to
+the ruff job), with per-line named suppressions, a checked-in baseline
+(kept empty), and a ``--json`` mode for CI annotations.
+
+Rules and the contracts they encode
+===================================
+
+==================== ========================================================= =============================================================
+Rule                 Contract                                                  Where the contract was previously stated
+==================== ========================================================= =============================================================
+det-hash             Never builtin ``hash()``: salted by ``PYTHONHASHSEED``;   ``engine/database.py`` (dataset_fingerprint docstring),
+                     use length-prefixed crc32.                                ``workloads/base.py`` ("a process-stable hash"),
+                                                                               ``engine/wire.py`` module docstring.
+det-unseeded-random  No global-state RNG calls (``random.random()``,           seeded-``default_rng`` discipline throughout
+                     ``np.random.rand()``); only explicit generators.          ``catalog/datagen.py`` and ``workloads/base.py``;
+                                                                               parity tests in ``tests/test_sharding.py``.
+det-set-order        No bare set iteration where order can leak into           sorted iteration in ``optimizer/dp.py`` and the plan
+                     output; wrap in ``sorted()``.                             encoders; trajectory-parity tests.
+clock-wall           No ``time.time()`` / ``datetime.now()`` in ``src/``.      ``api/context.py`` module docstring ("Timestamps are
+                                                                               time.monotonic seconds").
+clock-monotonic      ``time.monotonic`` only inside the sanctioned clock       same docstring; ``MonotonicClock`` is the injectable
+                     (``api/context.py``; ``engine/wire.py`` carries named     clock for every layer.
+                     suppressions for its re-anchoring fallback).
+clock-perf-counter   ``perf_counter`` only in profiling/latency-measurement    ``nn/profile.py``; latency fields in ``stats()``.
+                     code (declarative allowlist).
+layer-import         Imports follow the declared package DAG                   ROADMAP architecture section; fixed day-one violation:
+                     (``[tool.repro-lint.layers]``); engine never imports      ``engine/wire.py`` importing ``repro.api.context``.
+                     api.
+lock-blocking        No unbounded blocking call (recv/accept/join/wait
+                     without timeout, pipe/socket round trips) while           pipe discipline documented on ``ShardedBackend`` and
+                     lexically holding a lock, unless annotated                ``RemoteBackend._call`` (lock held across one full
+                     ``# repro-lint: allow[lock-blocking]`` with a reason.     send→recv round trip).
+rpc-parity           Ops the ``RemoteBackend`` client emits == ops             ``engine/remote/server.py`` module docstring (protocol
+                     ``EngineServer._dispatch`` handles (modulo declared       description); ``tests/test_remote_backend.py``.
+                     server-only ops).
+bad-suppression      (engine) suppressions carry known rule names;             —
+                     ``allow[]`` and typos are findings themselves.
+parse-error          (engine) every linted file parses.                        —
+==================== ========================================================= =============================================================
+
+Usage::
+
+    repro-lint                     # lint [tool.repro-lint] paths
+    repro-lint src tests           # explicit paths
+    repro-lint --json src          # CI annotation mode
+    repro-lint --list-rules        # this table, one line per rule
+
+Suppressing a finding (rule name mandatory, justify on the same line or
+the line above)::
+
+    conn.round_trip(req)  # repro-lint: allow[lock-blocking] — pipe discipline
+
+Adding a rule: write a check function in a module under
+``repro.analysis.rules`` and decorate it with
+:func:`repro.analysis.registry.rule`, giving the rule name and the
+one-line contract; import the module from ``repro.analysis.rules``.
+File-scoped checks receive ``(SourceFile, Project)`` and yield
+:class:`~repro.analysis.core.Finding`; project-scoped checks receive
+``(Project,)``.  Configuration belongs in ``[tool.repro-lint]`` —
+rules read it from ``project.config``, never hardcode paths.
+"""
+
+from repro.analysis.config import LintConfig, LintConfigError
+from repro.analysis.core import Baseline, Finding, Project, SourceFile
+from repro.analysis.registry import Rule, all_rules, known_rule_names, rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "known_rule_names",
+    "rule",
+]

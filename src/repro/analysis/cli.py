@@ -1,0 +1,226 @@
+"""The ``repro-lint`` console script.
+
+Runs every registered rule over the given paths (defaults come from
+``[tool.repro-lint] paths``), applies per-line suppressions and the
+checked-in baseline, and reports what survives::
+
+    repro-lint src tests benchmarks          # human output, exit 1 on findings
+    repro-lint --json src                    # machine-readable (CI annotations)
+    repro-lint --write-baseline src          # grandfather current findings
+    repro-lint --list-rules                  # the rule/contract table
+
+Exit codes: 0 clean (baselined findings are reported but don't fail),
+1 at least one non-baselined finding, 2 configuration/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import repro.analysis.rules  # noqa: F401  (registers the built-in rules)
+from repro.analysis.config import LintConfig, LintConfigError, find_pyproject
+from repro.analysis.core import Baseline, Finding, Project
+from repro.analysis.registry import all_rules, iter_rules, known_rule_names
+
+
+def _collect_files(root: Path, paths) -> List[str]:
+    """Project-relative posix paths of every .py file under ``paths``."""
+    seen = []
+    for raw in paths:
+        candidate = Path(raw)
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        if candidate.is_file():
+            found = [candidate]
+        elif candidate.is_dir():
+            found = [p for p in candidate.rglob("*.py") if "__pycache__" not in p.parts]
+        else:
+            found = []
+        for path in found:
+            try:
+                rel = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            seen.append(rel)
+    return sorted(set(seen))
+
+
+def run_lint(
+    root: Path,
+    config: LintConfig,
+    paths,
+    only_rules: Optional[set] = None,
+) -> Tuple[Project, List[Tuple[Finding, str]], int]:
+    """Lint ``paths`` under ``root``; returns (project, findings, suppressed).
+
+    ``findings`` pairs each surviving finding with its source line text
+    (the baseline fingerprint input); suppressed is the count of findings
+    silenced by per-line ``allow[...]`` comments.
+    """
+    project = Project(root, config)
+    for rel in _collect_files(root, paths):
+        project.add(rel)
+    raw: List[Finding] = []
+    for registered in iter_rules("file"):
+        if only_rules is not None and registered.name not in only_rules:
+            continue
+        for rel in sorted(project.files):
+            raw.extend(registered.check(project.files[rel], project))
+    for registered in iter_rules("project"):
+        if only_rules is not None and registered.name not in only_rules:
+            continue
+        raw.extend(registered.check(project))
+    raw.extend(project.parse_errors)
+    # Suppression hygiene: malformed directives and unknown rule names
+    # are findings themselves, and are not suppressible.
+    known = set(known_rule_names())
+    for rel in sorted(project.files):
+        sf = project.files[rel]
+        for line, message in sf.suppression_errors:
+            raw.append(Finding("bad-suppression", rel, line, message))
+        for line, names in sf.allow_directives:
+            for name in sorted(names - known):
+                raw.append(
+                    Finding(
+                        "bad-suppression",
+                        rel,
+                        line,
+                        f"suppression names unknown rule {name!r} "
+                        f"(known: {', '.join(sorted(known))})",
+                    )
+                )
+    survivors: List[Tuple[Finding, str]] = []
+    suppressed = 0
+    for finding in raw:
+        sf = project.files.get(finding.path)
+        if sf is not None and finding.rule != "bad-suppression" and sf.suppressed(finding):
+            suppressed += 1
+            continue
+        line_text = sf.line_text(finding.line) if sf is not None else ""
+        survivors.append((finding, line_text))
+    survivors.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].rule, pair[0].message))
+    return project, survivors, suppressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for this repository's determinism, "
+            "clock, layering, concurrency and RPC-parity contracts "
+            "(configured in [tool.repro-lint] of pyproject.toml)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--project-root",
+        default=None,
+        help="project root (default: directory of the nearest pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="baseline file (default from config)"
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules", default=None, help="comma-separated rule names to run (default: all)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule/contract table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for registered in all_rules():
+            print(f"{registered.name:<22} [{registered.scope}] {registered.contract}")
+        return 0
+
+    try:
+        if args.project_root is not None:
+            root = Path(args.project_root).resolve()
+            pyproject = root / "pyproject.toml"
+        else:
+            pyproject = find_pyproject(Path.cwd())
+            root = pyproject.parent if pyproject is not None else Path.cwd()
+        if pyproject is not None and pyproject.is_file():
+            config = LintConfig.from_pyproject(pyproject)
+        else:
+            config = LintConfig()
+    except LintConfigError as exc:
+        print(f"repro-lint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    only_rules = None
+    if args.rules:
+        only_rules = {name.strip() for name in args.rules.split(",") if name.strip()}
+        unknown = only_rules - set(known_rule_names())
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = args.paths or list(config.paths)
+    project, survivors, suppressed = run_lint(root, config, paths, only_rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / config.baseline
+    if args.write_baseline:
+        baseline = Baseline(
+            entries=[Baseline.entry(f, text) for f, text in survivors]
+        )
+        baseline.write(baseline_path)
+        print(
+            f"repro-lint: wrote {len(baseline.entries)} baseline entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.read(baseline_path)
+    fresh, grandfathered = baseline.split(survivors)
+
+    if args.json:
+        payload = {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in fresh
+            ],
+            "baselined": len(grandfathered),
+            "suppressed": suppressed,
+            "files": len(project.files),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        summary = (
+            f"repro-lint: {len(fresh)} finding{'s' if len(fresh) != 1 else ''} "
+            f"({len(grandfathered)} baselined, {suppressed} suppressed) "
+            f"across {len(project.files)} files"
+        )
+        print(summary)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,433 @@
+"""Declarative configuration for ``repro-lint``: ``[tool.repro-lint]``.
+
+Every knob a rule consults — the layer DAG, the clock allowlists, the
+blocking-call vocabulary, the RPC file pair — lives in ``pyproject.toml``
+so the contracts are data, not code.  The built-in defaults below mirror
+this repository's own table exactly; a fixture test can therefore run
+rules against ``LintConfig()`` without touching the real pyproject.
+
+Parsed with :mod:`tomllib` on python >= 3.11; older interpreters fall
+back to a minimal TOML-subset reader (tables, quoted/bare keys, string /
+int / float / bool scalars, possibly-multiline string arrays) — exactly
+the shapes this config uses — because the lint tool must not grow a
+third-party dependency the package itself does not carry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on python < 3.11
+    tomllib = None
+
+
+class LintConfigError(ValueError):
+    """The [tool.repro-lint] table is malformed (bad layer DAG, types...)."""
+
+
+#: The declared import-layer DAG: package under ``repro`` → packages it
+#: may import.  Edges not listed (and not excepted) are violations.  The
+#: table is validated to be acyclic at load time — that is what makes the
+#: declaration a DAG rather than a wish.
+DEFAULT_LAYERS: Dict[str, Tuple[str, ...]] = {
+    "storage": (),
+    "nn": (),
+    "catalog": ("storage",),
+    "sql": ("catalog", "storage"),
+    "optimizer": ("sql", "catalog", "storage"),
+    "executor": ("optimizer", "sql", "catalog", "storage"),
+    "engine": ("executor", "optimizer", "sql", "catalog", "storage"),
+    "workloads": ("engine", "executor", "optimizer", "sql", "catalog", "storage"),
+    "rl": ("nn",),
+    "core": (
+        "rl",
+        "nn",
+        "workloads",
+        "engine",
+        "executor",
+        "optimizer",
+        "sql",
+        "catalog",
+        "storage",
+    ),
+    "baselines": (
+        "core",
+        "rl",
+        "nn",
+        "workloads",
+        "engine",
+        "executor",
+        "optimizer",
+        "sql",
+        "catalog",
+        "storage",
+    ),
+    "api": (
+        "baselines",
+        "core",
+        "rl",
+        "nn",
+        "workloads",
+        "engine",
+        "executor",
+        "optimizer",
+        "sql",
+        "catalog",
+        "storage",
+    ),
+    "experiments": (
+        "api",
+        "baselines",
+        "core",
+        "rl",
+        "nn",
+        "workloads",
+        "engine",
+        "executor",
+        "optimizer",
+        "sql",
+        "catalog",
+        "storage",
+    ),
+    # The linter itself depends on nothing above the stdlib.
+    "analysis": (),
+}
+
+#: Module-targeted escape hatches through the DAG, each with a mandatory
+#: reason.  An exception allows one package to import one specific module
+#: (or its submodules) from a layer it could not otherwise touch.
+DEFAULT_LAYER_EXCEPTIONS: Dict[str, str] = {
+    "engine -> core.inference": (
+        "DeadlineExceededError is defined in core.inference and raised by "
+        "the engine via the lazy import in engine/database.raise_deadline"
+    ),
+    "engine -> workloads.base": (
+        "the repro-engine console entry point builds the workload it was "
+        "asked to serve (lazy import in engine/remote/server.serve)"
+    ),
+    "rl -> core.buffer": (
+        "the single experience-buffer implementation lives in core.buffer; "
+        "repro.rl re-exports it for backwards compatibility"
+    ),
+}
+
+DEFAULT_MONOTONIC_ALLOW: Tuple[str, ...] = (
+    # The one sanctioned clock: MonotonicClock and RequestContext stamps.
+    "src/repro/api/context.py",
+)
+
+DEFAULT_PERF_COUNTER_ALLOW: Tuple[str, ...] = (
+    # Profiling and latency-measurement code only; never deadline logic.
+    "src/repro/nn/*.py",
+    "src/repro/baselines/*.py",
+    "src/repro/engine/database.py",
+    "src/repro/api/service.py",
+    "src/repro/core/inference.py",
+    "src/repro/core/trainer.py",
+    "src/repro/experiments/harness.py",
+)
+
+DEFAULT_BLOCKING_CALLS: Tuple[str, ...] = (
+    "recv",
+    "recv_bytes",
+    "_recv",  # ShardedBackend's own pipe-drain helper
+    "send",
+    "send_bytes",
+    "accept",
+    "round_trip",
+    "read_frame",
+    "join",
+    "wait",
+)
+
+#: Blocking names that stop blocking indefinitely once given any
+#: timeout argument (``thread.join(5)``, ``event.wait(timeout=...)``).
+DEFAULT_TIMEOUT_EXEMPT: Tuple[str, ...] = ("join", "wait")
+
+DEFAULT_RNG_ALLOW: Tuple[str, ...] = (
+    # Constructors of explicit generator objects; global-state functions
+    # (random.random, numpy.random.rand, ...) are never allowed.
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.Generator",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+)
+
+
+@dataclass
+class LintConfig:
+    """Everything ``[tool.repro-lint]`` can declare, with repo defaults."""
+
+    # Contract rules apply only to files under these roots; the CLI can
+    # still be pointed at tests/benchmarks (suppression hygiene applies
+    # everywhere) without dragging bench timing code into clock rules.
+    enforced_roots: Tuple[str, ...] = ("src/repro",)
+    paths: Tuple[str, ...] = ("src", "tests", "benchmarks")
+    baseline: str = "lint-baseline.json"
+    layers: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    layer_exceptions: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_LAYER_EXCEPTIONS)
+    )
+    monotonic_allow: Tuple[str, ...] = DEFAULT_MONOTONIC_ALLOW
+    perf_counter_allow: Tuple[str, ...] = DEFAULT_PERF_COUNTER_ALLOW
+    blocking_calls: Tuple[str, ...] = DEFAULT_BLOCKING_CALLS
+    timeout_exempt: Tuple[str, ...] = DEFAULT_TIMEOUT_EXEMPT
+    rng_allow: Tuple[str, ...] = DEFAULT_RNG_ALLOW
+    rpc_server: str = "src/repro/engine/remote/server.py"
+    rpc_client: str = "src/repro/engine/remote/client.py"
+    rpc_kind_var: str = "kind"
+    # Ops the server deliberately answers that no pooled client emits
+    # (mirror-less clients bind SQL server-side), each with a reason.
+    rpc_server_only: Dict[str, str] = field(
+        default_factory=lambda: {
+            "sql": "served for mirror-less clients that cannot bind SQL locally"
+        }
+    )
+
+    def __post_init__(self) -> None:
+        self._validate_layer_dag()
+        for edge in self.layer_exceptions:
+            if "->" not in edge:
+                raise LintConfigError(
+                    f"layer exception {edge!r} must look like 'pkg -> target.module'"
+                )
+
+    def _validate_layer_dag(self) -> None:
+        """Reject a cyclic declaration — the layer table must be a DAG."""
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(pkg: str, stack: List[str]) -> None:
+            if state.get(pkg) == 1:
+                return
+            if state.get(pkg) == 0:
+                cycle = " -> ".join(stack[stack.index(pkg):] + [pkg])
+                raise LintConfigError(f"layer table is cyclic: {cycle}")
+            state[pkg] = 0
+            for dep in self.layers.get(pkg, ()):
+                if dep not in self.layers:
+                    raise LintConfigError(
+                        f"layer {pkg!r} allows unknown layer {dep!r}"
+                    )
+                visit(dep, stack + [pkg])
+            state[pkg] = 1
+
+        for pkg in sorted(self.layers):
+            visit(pkg, [])
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pyproject(cls, path: Path) -> "LintConfig":
+        raw = _read_toml(Path(path))
+        table = raw.get("tool", {}).get("repro-lint", {})
+        return cls.from_table(table)
+
+    @classmethod
+    def from_table(cls, table: Dict) -> "LintConfig":
+        def strings(value, name: str) -> Tuple[str, ...]:
+            if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+                raise LintConfigError(f"{name} must be a list of strings")
+            return tuple(value)
+
+        kwargs: Dict = {}
+        if "enforced-roots" in table:
+            kwargs["enforced_roots"] = strings(table["enforced-roots"], "enforced-roots")
+        if "paths" in table:
+            kwargs["paths"] = strings(table["paths"], "paths")
+        if "baseline" in table:
+            kwargs["baseline"] = str(table["baseline"])
+        if "layers" in table:
+            layers = table["layers"]
+            if not isinstance(layers, dict):
+                raise LintConfigError("layers must be a table of package -> [deps]")
+            kwargs["layers"] = {
+                pkg: strings(deps, f"layers.{pkg}") for pkg, deps in layers.items()
+            }
+        if "layer-exceptions" in table:
+            exceptions = table["layer-exceptions"]
+            if not isinstance(exceptions, dict):
+                raise LintConfigError(
+                    "layer-exceptions must be a table of 'pkg -> module' -> reason"
+                )
+            kwargs["layer_exceptions"] = {
+                str(edge): str(reason) for edge, reason in exceptions.items()
+            }
+        clock = table.get("clock", {})
+        if "monotonic-allow" in clock:
+            kwargs["monotonic_allow"] = strings(clock["monotonic-allow"], "clock.monotonic-allow")
+        if "perf-counter-allow" in clock:
+            kwargs["perf_counter_allow"] = strings(
+                clock["perf-counter-allow"], "clock.perf-counter-allow"
+            )
+        concurrency = table.get("concurrency", {})
+        if "blocking-calls" in concurrency:
+            kwargs["blocking_calls"] = strings(
+                concurrency["blocking-calls"], "concurrency.blocking-calls"
+            )
+        if "timeout-exempt" in concurrency:
+            kwargs["timeout_exempt"] = strings(
+                concurrency["timeout-exempt"], "concurrency.timeout-exempt"
+            )
+        determinism = table.get("determinism", {})
+        if "rng-allow" in determinism:
+            kwargs["rng_allow"] = strings(determinism["rng-allow"], "determinism.rng-allow")
+        rpc = table.get("rpc", {})
+        if "server" in rpc:
+            kwargs["rpc_server"] = str(rpc["server"])
+        if "client" in rpc:
+            kwargs["rpc_client"] = str(rpc["client"])
+        if "kind-var" in rpc:
+            kwargs["rpc_kind_var"] = str(rpc["kind-var"])
+        if "server-only-ops" in rpc:
+            ops = rpc["server-only-ops"]
+            if not isinstance(ops, dict):
+                raise LintConfigError("rpc.server-only-ops must map op name -> reason")
+            kwargs["rpc_server_only"] = {str(op): str(reason) for op, reason in ops.items()}
+        return cls(**kwargs)
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = Path(start).resolve()
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+# ----------------------------------------------------------------------
+# TOML reading (tomllib, or the subset fallback for python < 3.11)
+# ----------------------------------------------------------------------
+
+def _read_toml(path: Path) -> Dict:
+    data = path.read_text(encoding="utf-8")
+    if tomllib is not None:
+        return tomllib.loads(data)
+    return _parse_toml_subset(data)
+
+
+# Bare keys must not swallow dots: dots separate header/key parts.
+_KEY_RE = re.compile(r'\s*(?:"(?P<quoted>[^"]*)"|(?P<bare>[A-Za-z0-9_\-]+))\s*')
+
+
+def _parse_toml_subset(text: str) -> Dict:  # pragma: no cover - py<3.11 path
+    """Parse the TOML subset this config uses (see module docstring)."""
+    root: Dict = {}
+    current = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = root
+            for part in _split_header(line[1:-1]):
+                current = current.setdefault(part, {})
+            continue
+        if "=" not in line:
+            raise LintConfigError(f"unparsable TOML line: {line!r}")
+        key_part, _, value_part = line.partition("=")
+        key = _parse_key(key_part)
+        value_text = value_part.strip()
+        # Multiline arrays: keep consuming until brackets balance.
+        while value_text.count("[") > value_text.count("]"):
+            if index >= len(lines):
+                raise LintConfigError(f"unterminated array for key {key!r}")
+            value_text += " " + lines[index].strip()
+            index += 1
+        current[key] = _parse_value(value_text)
+    return root
+
+
+def _split_header(header: str) -> List[str]:
+    parts: List[str] = []
+    remainder = header
+    while remainder:
+        match = _KEY_RE.match(remainder)
+        if not match:
+            raise LintConfigError(f"unparsable TOML header: {header!r}")
+        parts.append(match.group("quoted") or match.group("bare"))
+        remainder = remainder[match.end():]
+        if remainder.startswith("."):
+            remainder = remainder[1:]
+        elif remainder:
+            raise LintConfigError(f"unparsable TOML header: {header!r}")
+    return parts
+
+
+def _parse_key(text: str) -> str:
+    match = _KEY_RE.match(text)
+    if not match or text[match.end():].strip():
+        raise LintConfigError(f"unparsable TOML key: {text!r}")
+    return match.group("quoted") or match.group("bare")
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    # Trailing same-line comments (outside strings) — strip conservatively.
+    if text.startswith("["):
+        inner = text[1:-1] if text.endswith("]") else text[1:]
+        items = [item.strip() for item in _split_array(inner)]
+        return [_parse_value(item) for item in items if item]
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise LintConfigError(f"unparsable TOML value: {text!r}")
+
+
+def _split_array(inner: str) -> List[str]:
+    items: List[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    for char in inner:
+        if in_string:
+            current += char
+            if char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current += char
+        elif char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            items.append(current)
+            current = ""
+        elif char == "#" and depth == 0:
+            break
+        else:
+            current += char
+    if current.strip():
+        items.append(current)
+    return items

@@ -1,0 +1,131 @@
+"""Determinism rules.
+
+The reproduction's headline guarantee is bitwise-identical plans across
+backends and batch shapes.  Three classic leaks are checked statically:
+
+* builtin ``hash()`` — salted per process by ``PYTHONHASHSEED``; the
+  repo's convention is length-prefixed crc32 (``repro.engine.wire``).
+  Stated in prose at ``engine/database.py`` (dataset_fingerprint) and
+  ``workloads/base.py`` ("a process-stable hash").
+* global-state RNG calls — ``random.random()`` / ``np.random.rand()``
+  draw from interpreter-global generators no seed discipline governs;
+  every sanctioned RNG in this repo is an explicit, seeded
+  ``np.random.Generator`` threaded through signatures.
+* iteration over sets — string hashing is salted, so bare set iteration
+  order varies per process; anything that feeds ordered output must wrap
+  the set in ``sorted()`` first (the optimizer's join enumeration and the
+  plan encoders sort for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, SourceFile, path_under
+from repro.analysis.registry import rule
+
+
+@rule(
+    "det-hash",
+    contract="never builtin hash(): it is salted by PYTHONHASHSEED; use crc32",
+)
+def check_builtin_hash(sf: SourceFile, project) -> Iterator[Finding]:
+    if not path_under(sf.path, project.config.enforced_roots):
+        return
+    if "hash" in sf.imports:
+        return  # the name is rebound to something explicit
+    for node in ast.walk(sf.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            yield Finding(
+                "det-hash",
+                sf.path,
+                node.lineno,
+                "builtin hash() varies with PYTHONHASHSEED across processes; "
+                "use the length-prefixed crc32 convention "
+                "(repro.engine.wire.crc32_chain) instead",
+            )
+
+
+@rule(
+    "det-unseeded-random",
+    contract="no global-state RNG calls; only explicit seeded generators",
+)
+def check_unseeded_random(sf: SourceFile, project) -> Iterator[Finding]:
+    config = project.config
+    if not path_under(sf.path, config.enforced_roots):
+        return
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = sf.resolve(node.func)
+        if resolved is None:
+            continue
+        if resolved.startswith("random.") or resolved.startswith("numpy.random."):
+            if resolved not in config.rng_allow:
+                yield Finding(
+                    "det-unseeded-random",
+                    sf.path,
+                    node.lineno,
+                    f"{resolved} draws from an interpreter-global RNG no seed "
+                    f"discipline governs; construct an explicit generator "
+                    f"(np.random.default_rng(seed)) and thread it through",
+                )
+                continue
+        # A module-level default_rng() with no seed is a global unseeded
+        # generator by another name.
+        if (
+            resolved == "numpy.random.default_rng"
+            and not node.args
+            and not node.keywords
+            and not sf.in_function(node)
+        ):
+            yield Finding(
+                "det-unseeded-random",
+                sf.path,
+                node.lineno,
+                "module-level numpy.random.default_rng() with no seed creates "
+                "a process-global unseeded generator; seed it or construct it "
+                "inside the consumer",
+            )
+
+
+@rule(
+    "det-set-order",
+    contract="no bare set iteration: wrap in sorted() before order matters",
+)
+def check_set_iteration(sf: SourceFile, project) -> Iterator[Finding]:
+    if not path_under(sf.path, project.config.enforced_roots):
+        return
+    iterables = []
+    for node in ast.walk(sf.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in node.generators)
+    for iterable in iterables:
+        if isinstance(iterable, ast.Set):
+            yield Finding(
+                "det-set-order",
+                sf.path,
+                iterable.lineno,
+                "iterating a set literal: string hashing is salted per "
+                "process, so the order varies; iterate sorted(...) instead",
+            )
+        elif (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+            and "set" not in sf.imports
+        ):
+            yield Finding(
+                "det-set-order",
+                sf.path,
+                iterable.lineno,
+                f"iterating {iterable.func.id}(...) directly: the order is "
+                f"hash-salted and varies per process; wrap it in sorted()",
+            )

@@ -1,0 +1,136 @@
+"""Import-layering rule: the declared package DAG, machine-checked.
+
+The architecture ROADMAP describes — serving (``api``) over ``engine``
+over ``executor``/``optimizer`` over ``sql``/``catalog``/``storage``,
+with ``nn`` and ``rl`` on their own track — lives in
+``[tool.repro-lint.layers]`` as an explicit package → allowed-imports
+table (validated acyclic at config load).  Any ``import`` anywhere in a
+file — module level or lazy inside a function, since a lazy import
+inverts the architecture just as surely at runtime — must follow a
+declared edge or a named module-targeted exception
+(``[tool.repro-lint.layer-exceptions]``, each with a reason).
+
+Day-one catch: ``engine/wire.py`` importing ``repro.api.context`` from
+inside the engine layer (fixed in this PR by registering the context
+codec downward instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.core import Finding, SourceFile, path_under
+from repro.analysis.registry import rule
+
+
+def _own_package(path: str, enforced_roots) -> Optional[Tuple[str, List[str]]]:
+    """(package, full module parts under repro) for a layered file."""
+    for root in enforced_roots:
+        root = root.rstrip("/")
+        if not path.startswith(root + "/"):
+            continue
+        rel = path[len(root) + 1 :]
+        parts = rel.rsplit(".", 1)[0].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if len(parts) < 1 or not parts[0]:
+            return None
+        if len(parts) == 0:
+            return None
+        # Files directly under the root (repro/__init__.py) are the top
+        # of the stack and may import anything.
+        if len(parts) == 1 and rel.endswith(".py") and "/" not in rel:
+            return None
+        return parts[0], ["repro"] + parts
+    return None
+
+
+def _imported_targets(sf: SourceFile, own_module: List[str]) -> Iterator[Tuple[int, str]]:
+    """Yield (line, dotted-module-under-repro) for every repro import."""
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against this file's package.
+                base = own_module[: len(own_module) - node.level]
+                module = ".".join(base + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if module == "repro":
+                for alias in node.names:
+                    yield node.lineno, f"repro.{alias.name}"
+            elif module.startswith("repro."):
+                for alias in node.names:
+                    # Offer the finest granularity we can for exception
+                    # matching: module.name when name is a submodule is
+                    # indistinguishable from an attribute statically, so
+                    # report the module and let exceptions match prefixes.
+                    yield node.lineno, f"{module}.{alias.name}"
+
+
+@rule(
+    "layer-import",
+    contract="imports follow the declared layer DAG (engine never imports api)",
+)
+def check_layering(sf: SourceFile, project) -> Iterator[Finding]:
+    config = project.config
+    if not path_under(sf.path, config.enforced_roots):
+        return
+    own = _own_package(sf.path, config.enforced_roots)
+    if own is None:
+        return
+    pkg, own_module = own
+    allowed = config.layers.get(pkg)
+    if allowed is None:
+        yield Finding(
+            "layer-import",
+            sf.path,
+            1,
+            f"package {pkg!r} is not declared in [tool.repro-lint.layers]; "
+            f"add it to the DAG (every layered package must state what it "
+            f"may import)",
+        )
+        return
+    exceptions = {}
+    for edge, reason in config.layer_exceptions.items():
+        source, _, target = edge.partition("->")
+        exceptions.setdefault(source.strip(), []).append((target.strip(), reason))
+    for line, dotted in _imported_targets(sf, own_module):
+        parts = dotted.split(".")
+        if len(parts) < 2:
+            continue  # bare `import repro`
+        target_pkg = parts[1]
+        if target_pkg == pkg:
+            continue
+        if target_pkg in allowed:
+            continue
+        target = ".".join(parts[1:])  # e.g. core.inference.DeadlineExceededError
+        excepted = any(
+            target == exc_target or target.startswith(exc_target + ".")
+            for exc_target, _reason in exceptions.get(pkg, [])
+        )
+        if excepted:
+            continue
+        if target_pkg not in config.layers:
+            yield Finding(
+                "layer-import",
+                sf.path,
+                line,
+                f"{pkg} imports undeclared package repro.{target_pkg} "
+                f"({dotted}); declare it in [tool.repro-lint.layers]",
+            )
+        else:
+            yield Finding(
+                "layer-import",
+                sf.path,
+                line,
+                f"layering violation {pkg} -> {target_pkg} ({dotted}): "
+                f"{pkg} may import only "
+                f"{{{', '.join(sorted(allowed)) or 'nothing'}}}; invert the "
+                f"dependency or add a named exception with a reason to "
+                f"[tool.repro-lint.layer-exceptions]",
+            )

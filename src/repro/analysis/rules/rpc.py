@@ -1,0 +1,135 @@
+"""RPC surface parity: the remote protocol cannot drift one-sided.
+
+``EngineServer._dispatch`` matches request kinds against string
+literals; ``RemoteBackend`` emits kinds as the first argument of
+``self._call(...)`` (and, for the raw handshake, as the first element of
+a tuple handed to ``pickle.dumps``).  Both vocabularies are extracted
+statically and compared:
+
+* an op the client emits but the server does not handle is always an
+  error — the request would come back ``("err", "unknown engine RPC")``;
+* an op the server handles but no client emits must be declared in
+  ``[tool.repro-lint.rpc] server-only-ops`` with a reason (today:
+  ``sql``, served for mirror-less clients), so protocol additions fail
+  lint until both sides and the config/docs agree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.core import Finding, SourceFile
+from repro.analysis.registry import PROJECT_SCOPE, rule
+
+
+def server_ops(sf: SourceFile, kind_var: str) -> Dict[str, int]:
+    """Op → first handling line, from ``kind == "..."`` comparisons."""
+    ops: Dict[str, int] = {}
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not (isinstance(node.left, ast.Name) and node.left.id == kind_var):
+            continue
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.In)):
+                continue
+            literals = []
+            if isinstance(comparator, ast.Constant) and isinstance(comparator.value, str):
+                literals.append(comparator.value)
+            elif isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                literals.extend(
+                    elt.value
+                    for elt in comparator.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                )
+            for literal in literals:
+                ops.setdefault(literal, node.lineno)
+    return ops
+
+
+def client_ops(sf: SourceFile) -> Dict[str, int]:
+    """Op → first emitting line, from ``_call("op", ...)`` and raw frames."""
+    ops: Dict[str, int] = {}
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_call" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                ops.setdefault(first.value, node.lineno)
+        # The raw handshake path: pickle.dumps(("fingerprint", None), ...)
+        resolved = sf.resolve(func)
+        if resolved == "pickle.dumps" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Tuple) and first.elts:
+                head = first.elts[0]
+                if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                    ops.setdefault(head.value, node.lineno)
+    return ops
+
+
+@rule(
+    "rpc-parity",
+    scope=PROJECT_SCOPE,
+    contract="client-emitted RPC ops == server-dispatched ops (modulo declared server-only ops)",
+)
+def check_rpc_parity(project) -> Iterator[Finding]:
+    config = project.config
+    server_sf = project.load(config.rpc_server)
+    client_sf = project.load(config.rpc_client)
+    if server_sf is None or client_sf is None:
+        for label, path, sf in (
+            ("server", config.rpc_server, server_sf),
+            ("client", config.rpc_client, client_sf),
+        ):
+            if sf is None:
+                yield Finding(
+                    "rpc-parity",
+                    path,
+                    1,
+                    f"configured RPC {label} file not found or unparsable; "
+                    f"fix [tool.repro-lint.rpc] {label} = ...",
+                )
+        return
+    handled = server_ops(server_sf, config.rpc_kind_var)
+    emitted = client_ops(client_sf)
+    if not handled:
+        yield Finding(
+            "rpc-parity",
+            server_sf.path,
+            1,
+            f"no dispatched ops found (no '{config.rpc_kind_var} == \"...\"' "
+            f"comparisons); did the dispatch change shape?",
+        )
+        return
+    if not emitted:
+        yield Finding(
+            "rpc-parity",
+            client_sf.path,
+            1,
+            "no emitted ops found (no _call(\"...\") calls); did the client "
+            "change shape?",
+        )
+        return
+    for op in sorted(set(emitted) - set(handled)):
+        yield Finding(
+            "rpc-parity",
+            client_sf.path,
+            emitted[op],
+            f"client emits RPC op {op!r} that EngineServer._dispatch does "
+            f"not handle; add the server branch (and protocol docs) before "
+            f"shipping the client side",
+        )
+    for op in sorted(set(handled) - set(emitted)):
+        if op in config.rpc_server_only:
+            continue
+        yield Finding(
+            "rpc-parity",
+            server_sf.path,
+            handled[op],
+            f"server handles RPC op {op!r} that no client emits; wire the "
+            f"client side or declare it in [tool.repro-lint.rpc] "
+            f"server-only-ops with a reason",
+        )

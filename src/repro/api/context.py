@@ -45,6 +45,7 @@ from typing import Callable, Dict, Optional
 # Re-exported: the engine layer raises it (via repro.core.inference, which
 # sits below the api package) and serving callers catch it from here.
 from repro.core.inference import DeadlineExceededError
+from repro.engine.wire import register_context_decoder
 
 __all__ = [
     "AdmissionRejectedError",
@@ -198,3 +199,12 @@ class RequestContext:
             deadline_s=data.get("ttl_s"),
             priority=int(data.get("priority", 0)),
         )
+
+
+# Dependency inversion with the wire layer: the engine never imports the
+# serving package, so this module hands its codec *down* to
+# ``repro.engine.wire`` at import time.  Any process that runs the serving
+# layer therefore decodes full RequestContext objects from v2 frames; a
+# standalone ``repro-engine`` server that never imports ``repro.api``
+# falls back to the engine-level ``WireContext`` view instead.
+register_context_decoder(RequestContext.from_wire)

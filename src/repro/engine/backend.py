@@ -406,7 +406,9 @@ class ShardedBackend:
                 else:
                     payload = ([items[i] for i in indices], sub_ctxs)
                 try:
-                    self._conns[worker].send((kind, payload))
+                    # pipe discipline: the worker lock is deliberately held
+                    # across the full send→recv round trip (class docstring).
+                    self._conns[worker].send((kind, payload))  # repro-lint: allow[lock-blocking]
                 except (BrokenPipeError, OSError, ValueError) as exc:
                     first_error = RuntimeError(
                         f"engine worker {worker} unreachable: {exc!r}"
@@ -415,7 +417,9 @@ class ShardedBackend:
                 sent.append(worker)
             out: List = [None] * len(keys)
             for worker in sent:
-                results, error = self._recv(worker)
+                # pipe discipline: the gather must drain every pipe while
+                # its round trip's lock is still held (drain contract).
+                results, error = self._recv(worker)  # repro-lint: allow[lock-blocking]
                 if error is not None:
                     first_error = first_error or error
                     continue
@@ -434,10 +438,12 @@ class ShardedBackend:
             lock.acquire()
         try:
             for worker in range(self.num_workers):
-                self._conns[worker].send((kind, None))
+                # pipe discipline: broadcast holds every worker lock across
+                # its full send→recv round trip (class docstring).
+                self._conns[worker].send((kind, None))  # repro-lint: allow[lock-blocking]
             first_error: Optional[Exception] = None
             for worker in range(self.num_workers):
-                _result, error = self._recv(worker)
+                _result, error = self._recv(worker)  # repro-lint: allow[lock-blocking]
                 first_error = first_error or error
         finally:
             for lock in self._worker_locks:
@@ -468,7 +474,10 @@ class ShardedBackend:
             acquired = self._worker_locks[worker].acquire(timeout=self.close_grace_s)
             try:
                 if acquired:
-                    conn.send(None)
+                    # The goodbye rides under the worker lock so it cannot
+                    # interleave with a scatter another thread is mid-way
+                    # through; the acquire above is already grace-bounded.
+                    conn.send(None)  # repro-lint: allow[lock-blocking]
                 # else: a round trip is still in flight after the grace
                 # period; sending now would corrupt it mid-recv.  The
                 # terminate below reclaims the worker instead (EOF on the

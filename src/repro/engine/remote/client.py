@@ -274,7 +274,10 @@ class RemoteBackend:
                         # drifted datagen, and serving across that would
                         # silently break the determinism contract.
                         self._verify_connection(conn)
-                    response_bytes = conn.round_trip(request)
+                    # pipe discipline: the connection lock spans one full
+                    # framed send→recv so concurrent tenants never
+                    # interleave bytes on a socket (class docstring).
+                    response_bytes = conn.round_trip(request)  # repro-lint: allow[lock-blocking]
                     break
                 except FrameCorruptionError:
                     # The stream cannot be trusted any more, but the error
