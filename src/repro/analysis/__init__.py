@@ -38,16 +38,50 @@ lock-blocking        No unbounded blocking call (recv/accept/join/wait
 rpc-parity           Ops the ``RemoteBackend`` client emits == ops             ``engine/remote/server.py`` module docstring (protocol
                      ``EngineServer._dispatch`` handles (modulo declared       description); ``tests/test_remote_backend.py``.
                      server-only ops).
+rpc-arity            (flow) Per op, the tuple payload the client pickles       the ``_dispatch`` destructuring assignments
+                     matches what the server's dispatch branch                 (``queries, options = body``) vs the client's
+                     destructures; ``None`` payloads never hit a               ``self._call("op", (...))`` tuples.
+                     destructuring branch.
+lock-order           (flow) The global lock-acquisition graph — ``with``       lock-ordering comments on ``OptimizerService``
+                     nesting plus calls made while holding a lock,             (``_optimize_lock`` "only ever taken without _lock
+                     resolved through the project call graph — has no          held"), ``ServiceGroup`` (build outside ``_lock``),
+                     cross-lock cycle.  Bounded acquires                       sorted worker-lock order in ``ShardedBackend``.
+                     (``timeout=``/``blocking=False``) and re-entry on
+                     one lock are exempt.
+ctx-propagation      (flow) Every ``*_many`` backend implementation            ``RequestContext`` lifecycle docs in ``api/context.py``
+                     consults ``ctxs`` on every CFG path before the            and the per-item ``None``-slot convention on
+                     planning work; every api function that mints a           ``EngineBackend`` batch methods.
+                     ``RequestContext`` uses it on every normal return
+                     path (raise paths may legitimately refuse).
+resource-release     (flow) Sockets, worker pipes and acquired                 ``_Connection.drop``, ``ShardedBackend.close`` and
+                     connection locks are released or ownership-               ``EngineServer._serve_client`` finally blocks.
+                     transferred on every CFG path, exception edges
+                     included.
 bad-suppression      (engine) suppressions carry known rule names;             —
                      ``allow[]`` and typos are findings themselves.
 parse-error          (engine) every linted file parses.                        —
 ==================== ========================================================= =============================================================
 
+The four ``(flow)`` rules are built on the flow foundations in this
+package: :mod:`repro.analysis.cfg` (per-function statement-level CFGs
+with branch/loop/finally/exception edges), :mod:`repro.analysis.callgraph`
+(a project-wide call graph with ``self``/hierarchy resolution and
+explicit unknown nodes) and :mod:`repro.analysis.dataflow` (forward /
+backward worklist solvers with per-edge-kind facts).  Soundness caveats,
+on purpose and documented per rule: unknown callees are assumed to
+acquire no locks, release calls are treated as non-raising, bounded lock
+acquires generate no ordering edges, and a bare ``f(x)`` argument is a
+use — not an ownership transfer — while container/collection hand-offs
+transfer.
+
 Usage::
 
     repro-lint                     # lint [tool.repro-lint] paths
     repro-lint src tests           # explicit paths
-    repro-lint --json src          # CI annotation mode
+    repro-lint --format json src   # CI annotation mode (--json still works)
+    repro-lint --format sarif src  # SARIF 2.1.0 for code-scanning upload
+    repro-lint --since origin/main # only files changed against a revision
+    repro-lint --cache src         # per-file result cache (content-fingerprinted)
     repro-lint --list-rules        # this table, one line per rule
 
 Suppressing a finding (rule name mandatory, justify on the same line or

@@ -1,0 +1,391 @@
+"""Per-function control-flow graphs over the raw ``ast``.
+
+The flow-aware rules (lock-order, ctx-propagation, resource-release)
+need more than lexical pattern matching: they ask "is this fact true on
+*every* path that reaches this statement, exception paths included?".
+This module answers the path half of that question.
+
+Granularity is one :class:`Block` per statement — functions in this
+repository are small, and statement-level blocks let the dataflow rules
+attach facts (a resource was acquired *here*) without sub-block
+bookkeeping.  Compound statements contribute their header as a block
+(the ``If``/``While``/``For``/``With``/``Try`` node itself) and their
+bodies recursively; synthetic blocks (``stmt is None``) mark the entry,
+the two exits and branch joins.
+
+Edges carry a kind:
+
+``next``            ordinary fall-through (including branch joins)
+``true``/``false``  the two sides of an ``if``/``while``/``for`` test
+``loop``            the back edge to a loop header
+``break``           a ``break`` jumping past the loop
+``return``          flow into the normal exit (or into a ``finally``
+                    a ``return`` must run first)
+``except``          exceptional flow out of a statement that can raise
+``finally``         normal completion entering a ``finally`` suite
+
+Exception modelling, deliberately coarse but sound for the rules built
+on top: any statement containing a call (plus ``raise`` and ``assert``)
+may raise; the edge goes to every enclosing handler that might catch it
+(all of them — matching is dynamic), continuing outward past non-
+catch-all handler suites, through ``finally`` suites, and ultimately to
+:attr:`CFG.raise_exit` if nothing catches.  A ``finally`` suite is built
+once and fans out to every continuation that can traverse it (after,
+outer handlers, the exits) — paths merge there, which over-approximates
+reachability and is therefore conservative for all-paths facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Exception-handler types that catch everything that matters here.
+_CATCHALL_NAMES = ("Exception", "BaseException")
+
+
+class Block:
+    """One CFG node: a single statement, or a synthetic marker."""
+
+    __slots__ = ("id", "stmt", "label", "succs")
+
+    def __init__(self, bid: int, stmt: Optional[ast.AST], label: str) -> None:
+        self.id = bid
+        self.stmt = stmt
+        self.label = label
+        self.succs: List[Tuple[int, str]] = []  # (block id, edge kind)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.stmt).__name__ if self.stmt is not None else self.label
+        return f"Block({self.id}, {kind}, -> {self.succs})"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise-exit")
+        self.by_stmt: Dict[int, Block] = {}  # id(stmt) -> block
+
+    def _new(self, stmt: Optional[ast.AST], label: str = "") -> Block:
+        block = Block(len(self.blocks), stmt, label)
+        self.blocks.append(block)
+        if stmt is not None:
+            self.by_stmt[id(stmt)] = block
+        return block
+
+    def edge(self, src: Block, dst: Block, kind: str) -> None:
+        if (dst.id, kind) not in src.succs:
+            src.succs.append((dst.id, kind))
+
+    def successors(self, block: Block) -> List[Tuple[Block, str]]:
+        return [(self.blocks[bid], kind) for bid, kind in block.succs]
+
+    def predecessors(self, block: Block) -> List[Tuple[Block, str]]:
+        return [
+            (src, kind)
+            for src in self.blocks
+            for bid, kind in src.succs
+            if bid == block.id
+        ]
+
+    def find_blocks(self, pred: Callable[[ast.AST], bool]) -> List[Block]:
+        """Blocks whose statement satisfies ``pred`` (entry order)."""
+        return [b for b in self.blocks if b.stmt is not None and pred(b.stmt)]
+
+    def reachable(self, start: Optional[Block] = None) -> List[Block]:
+        """Blocks reachable from ``start`` (default: the entry block)."""
+        seen = set()
+        stack = [(start or self.entry).id]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(s for s, _ in self.blocks[bid].succs)
+        return [b for b in self.blocks if b.id in seen]
+
+
+class _FinallyFrame:
+    __slots__ = ("entry", "used_by_exception", "routed_return")
+
+    def __init__(self, entry: Block) -> None:
+        self.entry = entry
+        self.used_by_exception = False
+        self.routed_return = False
+
+
+class _HandlerFrame:
+    __slots__ = ("entries", "catchall")
+
+    def __init__(self, entries: List[Block], catchall: bool) -> None:
+        self.entries = entries
+        self.catchall = catchall
+
+
+def _is_catchall(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in types:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - defensive
+            continue
+        if text.split(".")[-1] in _CATCHALL_NAMES:
+            return True
+    return False
+
+
+def _contains_call(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    return any(isinstance(sub, (ast.Call, ast.Await)) for sub in ast.walk(node))
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether exceptional flow can leave this statement.
+
+    Coarse on purpose: calls, ``raise`` and ``assert`` raise; attribute
+    and subscript access are assumed not to (flagging every ``x.y`` as a
+    raiser would route an exception edge out of nearly every statement
+    and drown the resource rule in impossible paths).  For compound
+    statements only the *header* expression is consulted — the body gets
+    its own blocks.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _contains_call(stmt.test)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _contains_call(stmt.iter)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return any(_contains_call(item.context_expr) for item in stmt.items)
+    if isinstance(stmt, ast.Try):
+        return False  # the try's own children carry the edges
+    return _contains_call(stmt)
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func)
+        # Innermost frame last.  Handler frames sit above the finally
+        # frame of the same ``try`` (an exception visits handlers first).
+        self.landings: List[Union[_FinallyFrame, _HandlerFrame]] = []
+        self.loops: List[Tuple[Block, List[Block]]] = []  # (header, break sources)
+
+    # -- exception routing ------------------------------------------------
+    def _raise_targets(self) -> List[Block]:
+        targets: List[Block] = []
+        for frame in reversed(self.landings):
+            if isinstance(frame, _HandlerFrame):
+                targets.extend(frame.entries)
+                if frame.catchall:
+                    return targets
+            else:
+                frame.used_by_exception = True
+                targets.append(frame.entry)
+                # The finally suite's own end re-dispatches outward.
+                return targets
+        targets.append(self.cfg.raise_exit)
+        return targets
+
+    def _wire_raise(self, block: Block) -> None:
+        for target in self._raise_targets():
+            self.cfg.edge(block, target, "except")
+
+    def _return_target(self) -> Tuple[Block, str]:
+        for frame in reversed(self.landings):
+            if isinstance(frame, _FinallyFrame):
+                frame.routed_return = True
+                return frame.entry, "return"
+        return self.cfg.exit, "return"
+
+    # -- statement sequences ----------------------------------------------
+    def seq(
+        self, stmts: Iterable[ast.stmt], current: Block, first_kind: str = "next"
+    ) -> Optional[Block]:
+        """Build ``stmts`` chained after ``current``; returns the open end.
+
+        ``None`` means flow never falls through (the suite always
+        returns, raises, breaks or continues).
+        """
+        kind = first_kind
+        open_block: Optional[Block] = current
+        for stmt in stmts:
+            if open_block is None:
+                break  # unreachable code after a terminator
+            open_block = self.stmt(stmt, open_block, kind)
+            kind = "next"
+        return open_block
+
+    def stmt(self, stmt: ast.stmt, current: Block, kind: str) -> Optional[Block]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            block = cfg._new(stmt)
+            cfg.edge(current, block, kind)
+            if _may_raise(stmt):
+                self._wire_raise(block)
+            then_end = self.seq(stmt.body, block, "true")
+            else_end = self.seq(stmt.orelse, block, "false") if stmt.orelse else block
+            join = cfg._new(None, "if-join")
+            if then_end is not None:
+                cfg.edge(then_end, join, "next")
+            if else_end is not None:
+                cfg.edge(else_end, join, "false" if else_end is block else "next")
+            if then_end is None and else_end is None:
+                return None
+            return join
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg._new(stmt)
+            cfg.edge(current, header, kind)
+            if _may_raise(stmt):
+                self._wire_raise(header)
+            join = cfg._new(None, "loop-join")
+            breaks: List[Block] = []
+            self.loops.append((header, breaks))
+            body_end = self.seq(stmt.body, header, "true")
+            self.loops.pop()
+            if body_end is not None:
+                cfg.edge(body_end, header, "loop")
+            orelse_end = self.seq(stmt.orelse, header, "false") if stmt.orelse else header
+            if orelse_end is not None:
+                cfg.edge(orelse_end, join, "false" if orelse_end is header else "next")
+            for src in breaks:
+                cfg.edge(src, join, "break")
+            # ``while True`` with no break never reaches the join.
+            always_true = (
+                isinstance(stmt, ast.While)
+                and isinstance(stmt.test, ast.Constant)
+                and bool(stmt.test.value)
+            )
+            if always_true and not breaks and not stmt.orelse:
+                return None
+            return join
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = cfg._new(stmt)
+            cfg.edge(current, header, kind)
+            if _may_raise(stmt):
+                self._wire_raise(header)
+            return self.seq(stmt.body, header, "next")
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current, kind)
+
+        if isinstance(stmt, ast.Return):
+            block = cfg._new(stmt)
+            cfg.edge(current, block, kind)
+            if _may_raise(stmt):
+                self._wire_raise(block)
+            target, edge_kind = self._return_target()
+            cfg.edge(block, target, edge_kind)
+            return None
+
+        if isinstance(stmt, ast.Raise):
+            block = cfg._new(stmt)
+            cfg.edge(current, block, kind)
+            self._wire_raise(block)
+            return None
+
+        if isinstance(stmt, ast.Break):
+            block = cfg._new(stmt)
+            cfg.edge(current, block, kind)
+            if self.loops:
+                self.loops[-1][1].append(block)
+            return None
+
+        if isinstance(stmt, ast.Continue):
+            block = cfg._new(stmt)
+            cfg.edge(current, block, kind)
+            if self.loops:
+                cfg.edge(block, self.loops[-1][0], "loop")
+            return None
+
+        # Simple statement (incl. nested def/class — treated as opaque).
+        block = cfg._new(stmt)
+        cfg.edge(current, block, kind)
+        if _may_raise(stmt):
+            self._wire_raise(block)
+        if isinstance(stmt, ast.Assert):
+            return block  # may pass through
+        return block
+
+    def _try(self, stmt: ast.Try, current: Block, kind: str) -> Optional[Block]:
+        cfg = self.cfg
+        header = cfg._new(stmt)
+        cfg.edge(current, header, kind)
+        after = cfg._new(None, "try-join")
+        reaches_after = False
+
+        fin_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            fin_frame = _FinallyFrame(cfg._new(None, "finally"))
+            self.landings.append(fin_frame)
+
+        handler_frame: Optional[_HandlerFrame] = None
+        handler_entries: List[Block] = []
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                handler_entries.append(cfg._new(handler, "handler"))
+            handler_frame = _HandlerFrame(
+                handler_entries, any(_is_catchall(h) for h in stmt.handlers)
+            )
+            self.landings.append(handler_frame)
+
+        body_end = self.seq(stmt.body, header, "next")
+        if handler_frame is not None:
+            self.landings.pop()  # orelse/handlers run outside the handler scope
+        orelse_end = (
+            self.seq(stmt.orelse, body_end, "next")
+            if (stmt.orelse and body_end is not None)
+            else body_end
+        )
+
+        handler_ends: List[Block] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            end = self.seq(handler.body, entry, "next")
+            if end is not None:
+                handler_ends.append(end)
+
+        normal_ends = [e for e in [orelse_end, *handler_ends] if e is not None]
+        if fin_frame is not None:
+            self.landings.pop()
+            for end in normal_ends:
+                cfg.edge(end, fin_frame.entry, "finally")
+            fin_end = self.seq(stmt.finalbody, fin_frame.entry, "next")
+            if fin_end is not None:
+                cfg.edge(fin_end, after, "next")
+                reaches_after = bool(normal_ends)
+                if fin_frame.used_by_exception:
+                    # Re-dispatch the in-flight exception outward.
+                    for target in self._raise_targets():
+                        cfg.edge(fin_end, target, "except")
+                if fin_frame.routed_return:
+                    target, edge_kind = self._return_target()
+                    cfg.edge(fin_end, target, edge_kind)
+        else:
+            for end in normal_ends:
+                cfg.edge(end, after, "next")
+                reaches_after = True
+        return after if reaches_after else None
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the statement-level CFG of one function definition."""
+    builder = _Builder(func)
+    end = builder.seq(func.body, builder.cfg.entry, "next")
+    if end is not None:
+        builder.cfg.edge(end, builder.cfg.exit, "next")
+    return builder.cfg

@@ -149,6 +149,52 @@ DEFAULT_BLOCKING_CALLS: Tuple[str, ...] = (
 #: timeout argument (``thread.join(5)``, ``event.wait(timeout=...)``).
 DEFAULT_TIMEOUT_EXEMPT: Tuple[str, ...] = ("join", "wait")
 
+#: Batch entry points that take per-item deadline contexts; their
+#: implementations must consult ``ctxs`` before reaching planning work.
+DEFAULT_CTX_MANY_METHODS: Tuple[str, ...] = (
+    "plan_many",
+    "plan_with_hints_many",
+    "execute_many",
+)
+
+#: Call names that count as "the planning/execution work happened" for
+#: the ctx-propagation rule's all-paths check.
+DEFAULT_CTX_WORK_CALLS: Tuple[str, ...] = (
+    "plan",
+    "plan_with_hints",
+    "execute",
+    "plan_many",
+    "plan_with_hints_many",
+    "execute_many",
+    "_scatter",
+    "_call",
+    "optimize",
+    "optimize_many",
+)
+
+#: Calls that mint a RequestContext; a minted context assigned to a
+#: local must be used on every normal path out of the function.
+DEFAULT_CTX_MINT_CALLS: Tuple[str, ...] = (
+    "RequestContext.mint",
+    "_mint_sync_ctx",
+)
+
+#: Only entry-point code is held to the mint-then-use contract.
+DEFAULT_CTX_MINT_ROOTS: Tuple[str, ...] = ("src/repro/api",)
+
+#: Acquisition call name → release method names accepted on the bound
+#: variable (or a chain rooted at it, e.g. ``conn.lock.release()``).
+#: Dotted keys match the callee's dotted-text suffix — the socket
+#: ``_listener.accept`` without dragging in the SQL tokenizer's
+#: unrelated ``self.accept``.
+DEFAULT_RESOURCE_ACQUIRES: Dict[str, Tuple[str, ...]] = {
+    "create_connection": ("close",),
+    "makefile": ("close",),
+    "Pipe": ("close",),
+    "_listener.accept": ("close",),
+    "_acquire": ("release", "drop", "close"),
+}
+
 DEFAULT_RNG_ALLOW: Tuple[str, ...] = (
     # Constructors of explicit generator objects; global-state functions
     # (random.random, numpy.random.rand, ...) are never allowed.
@@ -186,9 +232,17 @@ class LintConfig:
     blocking_calls: Tuple[str, ...] = DEFAULT_BLOCKING_CALLS
     timeout_exempt: Tuple[str, ...] = DEFAULT_TIMEOUT_EXEMPT
     rng_allow: Tuple[str, ...] = DEFAULT_RNG_ALLOW
+    ctx_many_methods: Tuple[str, ...] = DEFAULT_CTX_MANY_METHODS
+    ctx_work_calls: Tuple[str, ...] = DEFAULT_CTX_WORK_CALLS
+    ctx_mint_calls: Tuple[str, ...] = DEFAULT_CTX_MINT_CALLS
+    ctx_mint_roots: Tuple[str, ...] = DEFAULT_CTX_MINT_ROOTS
+    resource_acquires: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_RESOURCE_ACQUIRES)
+    )
     rpc_server: str = "src/repro/engine/remote/server.py"
     rpc_client: str = "src/repro/engine/remote/client.py"
     rpc_kind_var: str = "kind"
+    rpc_body_var: str = "body"
     # Ops the server deliberately answers that no pooled client emits
     # (mirror-less clients bind SQL server-side), each with a reason.
     rpc_server_only: Dict[str, str] = field(
@@ -285,6 +339,25 @@ class LintConfig:
         determinism = table.get("determinism", {})
         if "rng-allow" in determinism:
             kwargs["rng_allow"] = strings(determinism["rng-allow"], "determinism.rng-allow")
+        flow = table.get("flow", {})
+        if "many-methods" in flow:
+            kwargs["ctx_many_methods"] = strings(flow["many-methods"], "flow.many-methods")
+        if "work-calls" in flow:
+            kwargs["ctx_work_calls"] = strings(flow["work-calls"], "flow.work-calls")
+        if "mint-calls" in flow:
+            kwargs["ctx_mint_calls"] = strings(flow["mint-calls"], "flow.mint-calls")
+        if "mint-roots" in flow:
+            kwargs["ctx_mint_roots"] = strings(flow["mint-roots"], "flow.mint-roots")
+        if "resources" in flow:
+            resources = flow["resources"]
+            if not isinstance(resources, dict):
+                raise LintConfigError(
+                    "flow.resources must map acquire name -> [release names]"
+                )
+            kwargs["resource_acquires"] = {
+                str(name): strings(releases, f"flow.resources.{name}")
+                for name, releases in resources.items()
+            }
         rpc = table.get("rpc", {})
         if "server" in rpc:
             kwargs["rpc_server"] = str(rpc["server"])
@@ -292,6 +365,8 @@ class LintConfig:
             kwargs["rpc_client"] = str(rpc["client"])
         if "kind-var" in rpc:
             kwargs["rpc_kind_var"] = str(rpc["kind-var"])
+        if "body-var" in rpc:
+            kwargs["rpc_body_var"] = str(rpc["body-var"])
         if "server-only-ops" in rpc:
             ops = rpc["server-only-ops"]
             if not isinstance(ops, dict):

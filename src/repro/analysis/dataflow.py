@@ -1,0 +1,137 @@
+"""A small worklist dataflow solver over :mod:`repro.analysis.cfg` CFGs.
+
+Facts are arbitrary hashable values chosen by the rule.  The solver is
+direction-agnostic about *meaning* — it only moves facts along edges to
+a fixpoint:
+
+* :func:`solve_forward` — facts flow entry → exits.  The transfer
+  function returns a map of edge kind → outgoing fact, so a rule can
+  hand different facts to the ``true``/``false`` sides of a test (is-
+  None refinement) or to the ``except`` edge of a raising statement (a
+  resource acquired by the statement is *not* held if the acquiring call
+  itself raised).  ``"*"`` is the default for kinds not named.
+* :func:`solve_backward` — facts flow exits → entry over reversed
+  edges; edge kinds are not distinguished (none of the current rules
+  need kind-sensitive backward facts).
+
+``meet`` combines facts where paths join; blocks never reached keep the
+fact ``None``, and ``None`` inputs are filtered out before ``meet`` is
+called — a rule's lattice never needs a bottom element of its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.cfg import CFG, Block
+
+TransferOut = Dict[str, object]  # edge kind (or "*") -> outgoing fact
+Transfer = Callable[[Block, object], TransferOut]
+Meet = Callable[[List[object]], object]
+
+
+def _pick(out: TransferOut, kind: str) -> object:
+    if kind in out:
+        return out[kind]
+    return out["*"]
+
+
+def solve_forward(
+    cfg: CFG,
+    init: object,
+    transfer: Transfer,
+    meet: Meet,
+) -> Dict[int, object]:
+    """Forward fixpoint; returns the *incoming* fact per block id.
+
+    ``init`` seeds the entry block.  ``transfer(block, in_fact)`` must
+    return ``{"*": fact, ...}`` with optional per-kind overrides.
+    Unreachable blocks map to ``None``.
+    """
+    preds: Dict[int, List] = {b.id: [] for b in cfg.blocks}
+    for src in cfg.blocks:
+        for dst_id, kind in src.succs:
+            preds[dst_id].append((src.id, kind))
+
+    in_facts: Dict[int, Optional[object]] = {b.id: None for b in cfg.blocks}
+    out_maps: Dict[int, Optional[TransferOut]] = {b.id: None for b in cfg.blocks}
+    in_facts[cfg.entry.id] = init
+
+    work = deque([cfg.entry.id])
+    queued = {cfg.entry.id}
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        incoming = [
+            fact
+            for fact in (
+                _pick(out_maps[src_id], kind)
+                for src_id, kind in preds[bid]
+                if out_maps[src_id] is not None
+            )
+            if fact is not None  # a None fact = "this edge is not taken"
+        ]
+        if bid == cfg.entry.id:
+            fact = init
+        elif incoming:
+            fact = meet(incoming)
+        else:
+            continue  # not reached yet
+        out = transfer(block, fact)
+        if "*" not in out:
+            raise ValueError("transfer must provide a '*' default fact")
+        if fact == in_facts[bid] and out == out_maps[bid] and out_maps[bid] is not None:
+            continue
+        in_facts[bid] = fact
+        out_maps[bid] = out
+        for dst_id, _kind in block.succs:
+            if dst_id not in queued:
+                queued.add(dst_id)
+                work.append(dst_id)
+    return dict(in_facts)
+
+
+def solve_backward(
+    cfg: CFG,
+    init: object,
+    transfer: Callable[[Block, object], object],
+    meet: Meet,
+    exits: Optional[Iterable[Block]] = None,
+) -> Dict[int, object]:
+    """Backward fixpoint; returns the fact *leaving* each block (toward
+    the entry).  ``init`` seeds the exit blocks (both exits by default);
+    ``transfer(block, out_fact)`` returns a single fact.
+    """
+    succs: Dict[int, List[int]] = {
+        b.id: [dst for dst, _ in b.succs] for b in cfg.blocks
+    }
+    exit_ids = {b.id for b in (exits if exits is not None else (cfg.exit, cfg.raise_exit))}
+
+    out_facts: Dict[int, Optional[object]] = {b.id: None for b in cfg.blocks}
+    res_facts: Dict[int, Optional[object]] = {b.id: None for b in cfg.blocks}
+
+    work = deque(sorted(exit_ids))
+    queued = set(exit_ids)
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        downstream = [out_facts[dst] for dst in succs[bid] if out_facts[dst] is not None]
+        if bid in exit_ids:
+            fact = init
+        elif downstream:
+            fact = meet(downstream)
+        else:
+            continue
+        result = transfer(block, fact)
+        if result == out_facts[bid] and res_facts[bid] is not None:
+            continue
+        out_facts[bid] = result
+        res_facts[bid] = result
+        for src in cfg.blocks:
+            if bid in succs[src.id] and src.id not in queued:
+                queued.add(src.id)
+                work.append(src.id)
+    return dict(out_facts)

@@ -5,5 +5,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     concurrency,
     determinism,
     layering,
+    lifecycle,
+    locks,
     rpc,
 )

@@ -312,32 +312,44 @@ class ShardedBackend:
         # One lock per worker pipe, held across a full send→recv round
         # trip; a multi-worker call takes its locks in worker order.
         self._worker_locks = [threading.Lock() for _ in range(num_workers)]
+        # How long close() waits for an in-flight round trip before
+        # reclaiming the worker by force (tests shrink this).  Assigned
+        # before any spawn so the close() in the failure paths below
+        # finds it.
+        self.close_grace_s = 30.0
         for _ in range(num_workers):
             parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_engine_worker_main, args=(child_conn, spec), daemon=True
-            )
-            proc.start()
+            try:
+                proc = ctx.Process(
+                    target=_engine_worker_main, args=(child_conn, spec), daemon=True
+                )
+                proc.start()
+            except BaseException:
+                parent_conn.close()
+                child_conn.close()
+                self.close()
+                raise
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(proc)
         # Block until every worker has rebuilt its engine, so the first
         # batch call measures steady-state throughput, not startup.
-        for worker in range(num_workers):
-            self._conns[worker].send(("ping", None))
-        startup_error: Optional[Exception] = None
-        for worker in range(num_workers):
-            _result, error = self._recv(worker)
-            startup_error = startup_error or error
+        try:
+            for worker in range(num_workers):
+                self._conns[worker].send(("ping", None))
+            startup_error: Optional[Exception] = None
+            for worker in range(num_workers):
+                _result, error = self._recv(worker)
+                startup_error = startup_error or error
+        except BaseException:
+            self.close()
+            raise
         if startup_error is not None:
             self.close()
             raise startup_error
         # Parent-side memos for the two planning RPCs (see PlanningMemo).
         self._plan_memo = PlanningMemo(self.local.hint_cache_capacity)
         self._hint_memo = PlanningMemo(self.local.hint_cache_capacity)
-        # How long close() waits for an in-flight round trip before
-        # reclaiming the worker by force (tests shrink this).
-        self.close_grace_s = 30.0
 
     # ------------------------------------------------------------------
     # pool plumbing

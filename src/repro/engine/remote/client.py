@@ -118,11 +118,16 @@ class _Connection:
         if self._sock is not None:
             return False
         sock = socket.create_connection((self._host, self._port), timeout=self._timeout_s)
-        sock.settimeout(self._timeout_s)
-        # One small request frame per batch: don't let Nagle hold it back.
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.settimeout(self._timeout_s)
+            # One small request frame per batch: don't let Nagle hold it back.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = sock.makefile("rwb")
+        except BaseException:
+            sock.close()
+            raise
         self._sock = sock
-        self._stream = sock.makefile("rwb")
+        self._stream = stream
         return True
 
     def round_trip(self, request: bytes) -> bytes:
