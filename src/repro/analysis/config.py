@@ -37,11 +37,14 @@ class LintConfigError(ValueError):
 DEFAULT_LAYERS: Dict[str, Tuple[str, ...]] = {
     "storage": (),
     "nn": (),
+    # Observability primitives (stdlib+numpy only): import nothing from
+    # repro, importable by the layers that emit telemetry.
+    "obs": (),
     "catalog": ("storage",),
     "sql": ("catalog", "storage"),
     "optimizer": ("sql", "catalog", "storage"),
     "executor": ("optimizer", "sql", "catalog", "storage"),
-    "engine": ("executor", "optimizer", "sql", "catalog", "storage"),
+    "engine": ("executor", "optimizer", "sql", "catalog", "storage", "obs"),
     "workloads": ("engine", "executor", "optimizer", "sql", "catalog", "storage"),
     "rl": ("nn",),
     "core": (
@@ -79,6 +82,7 @@ DEFAULT_LAYERS: Dict[str, Tuple[str, ...]] = {
         "sql",
         "catalog",
         "storage",
+        "obs",
     ),
     "experiments": (
         "api",
@@ -93,6 +97,7 @@ DEFAULT_LAYERS: Dict[str, Tuple[str, ...]] = {
         "sql",
         "catalog",
         "storage",
+        "obs",
     ),
     # The linter itself depends on nothing above the stdlib.
     "analysis": (),
@@ -119,6 +124,8 @@ DEFAULT_LAYER_EXCEPTIONS: Dict[str, str] = {
 DEFAULT_MONOTONIC_ALLOW: Tuple[str, ...] = (
     # The one sanctioned clock: MonotonicClock and RequestContext stamps.
     "src/repro/api/context.py",
+    # Span timestamps share the request-lifecycle clock.
+    "src/repro/obs/*.py",
 )
 
 DEFAULT_PERF_COUNTER_ALLOW: Tuple[str, ...] = (
@@ -130,6 +137,7 @@ DEFAULT_PERF_COUNTER_ALLOW: Tuple[str, ...] = (
     "src/repro/core/inference.py",
     "src/repro/core/trainer.py",
     "src/repro/experiments/harness.py",
+    "src/repro/obs/*.py",
 )
 
 DEFAULT_BLOCKING_CALLS: Tuple[str, ...] = (

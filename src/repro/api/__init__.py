@@ -24,7 +24,11 @@ async backend:
   across layers (request id, tenant, ``deadline_s`` budget, priority),
   minted by the serving entry points unless the caller passes one;
   deadlines propagate down to the engine backends and across the remote
-  wire, and each lifecycle stage is stamped for tracing;
+  wire, and each lifecycle stage is stamped for tracing.  Minting with
+  ``traced=True`` additionally joins the request into a :mod:`repro.obs`
+  trace whose spans cross the remote wire and come back joined
+  (``FossSession.observability()`` exposes the registry snapshot and
+  Prometheus/JSON exporters);
 * :func:`create_optimizer` — named construction (``"foss"``,
   ``"postgres"``, ``"bao"``, ``"balsa"``, ``"loger"``, ``"hybridqo"``, plus
   anything registered via :func:`register_optimizer`);

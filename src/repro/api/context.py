@@ -20,7 +20,12 @@ end instead of stopping at the first API boundary:
 * **tracing** — layers stamp stage times onto the ticket
   (``enqueue`` → ``flush`` → ``engine`` → ``done``); a
   :data:`TraceHook` observes every stamp and ``stats()`` exposes
-  p50/p95/p99 per stage.
+  p50/p95/p99 per stage.  A context minted with ``traced=True``
+  additionally carries a ``repro.obs`` ``trace_id`` (plus the current
+  ``parent_span_id``) across the wire, so every layer's spans join into
+  one tree — see :mod:`repro.obs`.  Untraced contexts carry neither
+  field and their wire encoding is byte-identical to the pre-obs
+  format.
 
 Timestamps are :func:`time.monotonic` seconds.  The monotonic clock is
 shared by every process on one machine (the sharded pool's workers
@@ -41,6 +46,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
+
+from repro import obs
 
 # Re-exported: the engine layer raises it (via repro.core.inference, which
 # sits below the api package) and serving callers catch it from here.
@@ -112,6 +119,11 @@ class RequestContext:
     submitted_at: float = field(default_factory=time.monotonic)
     deadline_s: Optional[float] = None
     priority: int = 0
+    #: ``repro.obs`` trace this request belongs to; ``None`` = untraced.
+    trace_id: Optional[str] = None
+    #: Span id of the caller's currently open span; each layer re-parents
+    #: via :meth:`with_parent_span` before handing the context down.
+    parent_span_id: Optional[str] = None
 
     @classmethod
     def mint(
@@ -120,18 +132,43 @@ class RequestContext:
         deadline_s: Optional[float] = None,
         priority: int = 0,
         clock: Optional[MonotonicClock] = None,
+        traced: bool = False,
     ) -> "RequestContext":
-        """A fresh context with a process-unique monotonic request id."""
+        """A fresh context with a process-unique monotonic request id.
+
+        ``traced=True`` attaches a fresh ``repro.obs`` trace id — unless
+        tracing is disabled (``REPRO_OBS=0``), in which case the minted
+        context is indistinguishable from an untraced one.
+        """
         if deadline_s is not None and deadline_s < 0:
             raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
         with _mint_lock:
             serial = next(_mint_counter)
+        trace_id = obs.new_trace_id() if traced else None
         return cls(
             request_id=f"{tenant or 'req'}-{serial:08d}",
             tenant=tenant,
             submitted_at=(clock or CLOCK).now(),
             deadline_s=deadline_s,
             priority=priority,
+            trace_id=trace_id,
+        )
+
+    def with_parent_span(self, span_id: Optional[str]) -> "RequestContext":
+        """A copy whose downstream spans parent on ``span_id``."""
+        if span_id == self.parent_span_id:
+            return self
+        # Direct construction, not dataclasses.replace: replace() walks the
+        # field list on every call and this runs once per traced request on
+        # the flush hot path.
+        return RequestContext(
+            request_id=self.request_id,
+            tenant=self.tenant,
+            submitted_at=self.submitted_at,
+            deadline_s=self.deadline_s,
+            priority=self.priority,
+            trace_id=self.trace_id,
+            parent_span_id=span_id,
         )
 
     # ------------------------------------------------------------------
@@ -183,6 +220,12 @@ class RequestContext:
         remaining = self.remaining_s(now)
         if remaining is not None:
             data["ttl_s"] = remaining
+        # Trace keys only when tracing is live: untraced frames must stay
+        # byte-identical to the pre-obs wire format.
+        if self.trace_id:
+            data["trace"] = self.trace_id
+            if self.parent_span_id:
+                data["span"] = self.parent_span_id
         return data
 
     @classmethod
@@ -198,6 +241,8 @@ class RequestContext:
             submitted_at=(clock or CLOCK).now(),
             deadline_s=data.get("ttl_s"),
             priority=int(data.get("priority", 0)),
+            trace_id=data.get("trace"),
+            parent_span_id=data.get("span"),
         )
 
 

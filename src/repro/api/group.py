@@ -267,6 +267,7 @@ class ServiceGroup:
         "cache_misses",
         "results_evicted",
         "batches",
+        "obs_hook_errors",
     )
 
     def stats(self) -> Dict[str, Dict[str, float]]:

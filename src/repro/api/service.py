@@ -62,6 +62,7 @@ the optimizer, so their plans stay bitwise-identical.
 from __future__ import annotations
 
 import inspect
+import itertools
 import threading
 import time
 from collections import OrderedDict
@@ -70,6 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.api.context import (
     CLOCK,
     AdmissionRejectedError,
@@ -96,6 +98,11 @@ _RESULT_WAIT_S = 60.0
 # behind the flusher, time inside the optimizer/engine, time finalizing
 # outcomes, and the end-to-end total.
 _STAGE_NAMES = ("queue", "engine", "finalize", "total")
+
+# Each service instance gets its own label value in the process-global
+# metrics registry, so two services (or two tests) never read each
+# other's series while still landing in one scrapeable registry.
+_service_serial = itertools.count()
 
 
 class TicketEvictedError(ValueError):
@@ -221,20 +228,65 @@ class OptimizerService:
         # ledger: an issued id with no event and no result was evicted.
         self._events: Dict[int, threading.Event] = {}
         self._next_ticket = 0
-        # telemetry
-        self._latencies_ms: List[float] = []
-        self._batch_count = 0
-        self._batch_occupancy_sum = 0
-        self._batch_occupancy_max = 0
-        self._hits = 0
-        self._misses = 0
-        self._failures = 0
-        self._expired = 0
-        self._rejected = 0
-        self._result_evictions = 0
-        self._stage_latencies_ms: Dict[str, List[float]] = {
-            stage: [] for stage in _STAGE_NAMES
+        # telemetry — every counter and latency window below is a view
+        # over the process-global repro.obs registry.  ``stats()`` keeps
+        # its historical keys by reading this service's own labeled
+        # series back out.  The latency windows are bounded numpy ring
+        # buffers inside obs Histograms: constant memory no matter how
+        # many requests pass through (the old list-append/slice windows
+        # reallocated per request).
+        registry = obs.get_registry()
+        labels = {"tenant": self.tenant or "default", "service": f"svc{next(_service_serial)}"}
+        self._obs_labels = labels
+        names = ("tenant", "service")
+        self._m_hits = registry.counter(
+            "serving_cache_hits_total", "requests served from the plan memo", names
+        ).labels(**labels)
+        self._m_misses = registry.counter(
+            "serving_cache_misses_total", "requests that cost an optimization", names
+        ).labels(**labels)
+        self._m_failures = registry.counter(
+            "serving_failures_total", "requests that failed (bind/optimize errors)", names
+        ).labels(**labels)
+        self._m_expired = registry.counter(
+            "serving_expired_total", "requests dropped after their deadline budget ran out", names
+        ).labels(**labels)
+        self._m_rejected = registry.counter(
+            "serving_rejected_total", "submits refused by admission control", names
+        ).labels(**labels)
+        self._m_evicted = registry.counter(
+            "serving_results_evicted_total", "ticket outcomes aged out unredeemed", names
+        ).labels(**labels)
+        self._m_batches = registry.counter(
+            "serving_batches_total", "optimizer micro-batches flushed", names
+        ).labels(**labels)
+        self._m_batch_occupancy_sum = registry.counter(
+            "serving_batch_occupancy_sum", "total unique queries across all batches", names
+        ).labels(**labels)
+        self._m_batch_occupancy_max = registry.gauge(
+            "serving_batch_occupancy_max", "largest batch flushed so far", names
+        ).labels(**labels)
+        self._m_hook_errors = registry.counter(
+            "serving_obs_hook_errors_total", "exceptions swallowed from the trace_hook", names
+        ).labels(**labels)
+        self._m_latency = registry.histogram(
+            "serving_latency_ms",
+            "per-request optimization latency",
+            names,
+            window=_LATENCY_WINDOW,
+        ).labels(**labels)
+        stage_hist = registry.histogram(
+            "serving_stage_ms",
+            "lifecycle stage durations (queue/engine/finalize/total)",
+            ("stage",) + names,
+            window=_LATENCY_WINDOW,
+        )
+        self._m_stages = {
+            stage: stage_hist.labels(stage=stage, **labels) for stage in _STAGE_NAMES
         }
+        # Open root spans by ticket id (traced requests only); ended by
+        # _store_result, the single funnel every outcome passes through.
+        self._open_spans: Dict[int, obs.Span] = {}
         # Whether optimizer.optimize_many accepts a ctxs kwarg; probed
         # lazily (inspect.signature) and cached.
         self._many_accepts_ctxs: Optional[bool] = None
@@ -340,16 +392,21 @@ class OptimizerService:
         ctx: Optional[RequestContext] = None,
         deadline_s: Optional[float] = None,
         priority: int = 0,
+        traced: bool = False,
     ) -> PlanTicket:
         """Enqueue SQL text; binding failures become failed tickets.
 
         A context is minted (tenant/deadline/priority) unless the caller
-        passes one; ``deadline_s``/``priority`` are ignored when ``ctx``
-        is given.  With ``max_pending`` set, a full queue raises
-        :class:`AdmissionRejectedError` *before* a ticket is issued.  A
-        context whose deadline already passed is resolved as an
-        ``"expired"`` ticket immediately — the SQL is never even bound,
-        so an expired submit costs no engine work at all.
+        passes one; ``deadline_s``/``priority``/``traced`` are ignored
+        when ``ctx`` is given.  ``traced=True`` attaches a ``repro.obs``
+        trace id to the minted context, so the request produces a joined
+        span tree across every layer it touches (see :mod:`repro.obs`);
+        untraced requests allocate no spans at all.  With ``max_pending``
+        set, a full queue raises :class:`AdmissionRejectedError` *before*
+        a ticket is issued.  A context whose deadline already passed is
+        resolved as an ``"expired"`` ticket immediately — the SQL is
+        never even bound, so an expired submit costs no engine work at
+        all.
         """
         if ctx is None:
             ctx = RequestContext.mint(
@@ -357,6 +414,7 @@ class OptimizerService:
                 deadline_s=deadline_s,
                 priority=priority,
                 clock=self.clock,
+                traced=traced,
             )
         now = self.clock.now()
         with self._lock:
@@ -364,7 +422,7 @@ class OptimizerService:
                 self.max_pending is not None
                 and len(self._pending) >= self.max_pending
             ):
-                self._rejected += 1
+                self._m_rejected.inc()
                 raise AdmissionRejectedError(
                     f"pending queue is full ({len(self._pending)} >= "
                     f"max_pending={self.max_pending}); back off and retry"
@@ -372,6 +430,10 @@ class OptimizerService:
             ticket_id = self._next_ticket
             self._next_ticket += 1
             self._events[ticket_id] = threading.Event()
+            span = self._begin_request_span(ctx, start=now)
+            if span is not None:
+                span.set_attr("ticket_id", ticket_id)
+                self._open_spans[ticket_id] = span
         ticket = PlanTicket(ticket_id, sql, context=ctx)
         trace = {"enqueue": now}
         self._trace(ctx, "enqueue", now)
@@ -381,7 +443,7 @@ class OptimizerService:
             trace["done"] = done
             self._trace(ctx, "done", done)
             with self._lock:
-                self._expired += 1
+                self._m_expired.inc()
                 self._record_stage("total", (done - now) * 1000.0)
                 self._store_result(
                     TicketResult(
@@ -403,7 +465,7 @@ class OptimizerService:
             query = bind_sql(self.backend, sql)
         except OptimizeError as exc:
             with self._lock:
-                self._failures += 1
+                self._m_failures.inc()
                 self._store_result(
                     TicketResult(
                         ticket_id, sql, "failed", error=str(exc), context=ctx, trace=trace
@@ -414,8 +476,11 @@ class OptimizerService:
             # An unexpected binder failure propagates to the caller (who
             # never receives the ticket), but must not orphan the event —
             # the events ledger is the one store without a capacity bound.
+            # The open span (if any) is abandoned with it: never recorded,
+            # never leaked (the tracer holds no reference to open spans).
             with self._lock:
                 self._events.pop(ticket_id, None)
+                self._open_spans.pop(ticket_id, None)
             raise
         flush_inline = False
         with self._lock:
@@ -431,14 +496,37 @@ class OptimizerService:
         return ticket
 
     def _trace(self, ctx: Optional[RequestContext], stage: str, timestamp: float) -> None:
-        """Feed one stage stamp to the trace hook; hooks can never raise out."""
+        """Feed one stage stamp to the trace hook; hooks can never raise out.
+
+        Swallowed exceptions are *counted* (``obs_hook_errors`` in
+        ``stats()``, ``serving_obs_hook_errors_total`` in the registry)
+        so a broken hook is visible instead of silently dark.
+        """
         hook = self.trace_hook
         if hook is None or ctx is None:
             return
         try:
             hook(ctx, stage, timestamp)
         except Exception:
-            pass
+            self._m_hook_errors.inc()
+
+    def _begin_request_span(
+        self, ctx: Optional[RequestContext], start: Optional[float] = None
+    ) -> Optional[obs.Span]:
+        """Open the root ``service.request`` span for a traced context.
+
+        ``None`` (and zero work beyond one attribute read) for untraced
+        requests — the disabled path allocates nothing.
+        """
+        if ctx is None or ctx.trace_id is None:
+            return None
+        return obs.get_tracer().begin(
+            "service.request",
+            trace_id=ctx.trace_id,
+            parent_id=ctx.parent_span_id,
+            attrs={"request_id": ctx.request_id, "tenant": ctx.tenant},
+            start=start,
+        )
 
     def result(self, ticket, timeout: Optional[float] = None) -> TicketResult:
         """The outcome for a ticket, flushing the queue if still pending.
@@ -562,7 +650,7 @@ class OptimizerService:
             with self._lock:
                 for ticket_id, sql, _query, ctx, trace in dropped:
                     trace["done"] = done
-                    self._expired += 1
+                    self._m_expired.inc()
                     self._record_stage("queue", (t_flush - trace["enqueue"]) * 1000.0)
                     self._record_stage("total", (done - trace["enqueue"]) * 1000.0)
                     self._store_result(
@@ -599,7 +687,7 @@ class OptimizerService:
                 unique: "OrderedDict[str, Query]" = OrderedDict()
                 unique_ctxs: Dict[str, Optional[RequestContext]] = {}
                 hit_signatures = set()
-                for _ticket_id, _sql, query, ctx, _trace in pending:
+                for ticket_id, _sql, query, ctx, _trace in pending:
                     signature = query.signature()
                     signatures.append(signature)
                     if signature in resolved or signature in unique:
@@ -611,6 +699,16 @@ class OptimizerService:
                         hit_signatures.add(signature)
                     else:
                         unique[signature] = query
+                        # A traced request hands the optimizer a context
+                        # re-parented on its open root span, so engine
+                        # spans join under it; the pending entry keeps
+                        # the original ctx (TicketResult.context is
+                        # unchanged).  Untraced contexts pass through
+                        # untouched.
+                        if ctx is not None and ctx.trace_id is not None:
+                            root = self._open_spans.get(ticket_id)
+                            if root is not None:
+                                ctx = ctx.with_parent_span(root.span_id)
                         unique_ctxs[signature] = ctx
                 if unique:
                     self._record_batch(len(unique))
@@ -631,9 +729,21 @@ class OptimizerService:
                 )
             elapsed_ms = (time.perf_counter() - start) * 1000.0 / len(pending)
             t_engine = self.clock.now()
-            for _ticket_id, _sql, _query, ctx, trace in pending:
+            for ticket_id, _sql, _query, ctx, trace in pending:
                 trace["engine"] = t_engine
                 self._trace(ctx, "engine", t_engine)
+                if ctx is not None and ctx.trace_id is not None:
+                    # Retrospective flush span: the window this request
+                    # spent inside the micro-batch, a child of its root.
+                    root = self._open_spans.get(ticket_id)
+                    obs.get_tracer().add(
+                        "service.flush",
+                        trace_id=ctx.trace_id,
+                        parent_id=root.span_id if root is not None else ctx.parent_span_id,
+                        start_s=t_flush,
+                        end_s=t_engine,
+                        attrs={"batch": len(pending)},
+                    )
 
             with self._lock:
                 for signature, outcome in zip(unique, outcomes):
@@ -662,10 +772,10 @@ class OptimizerService:
                     if isinstance(outcome, OptimizedPlan):
                         cached = signature in hit_signatures or signature in first_seen
                         if cached:
-                            self._hits += 1
+                            self._m_hits.inc()
                         else:
                             first_seen.add(signature)
-                            self._misses += 1
+                            self._m_misses.inc()
                         self._store_result(
                             TicketResult(
                                 ticket_id,
@@ -678,7 +788,7 @@ class OptimizerService:
                             )
                         )
                     elif isinstance(outcome, DeadlineExceededError):
-                        self._expired += 1
+                        self._m_expired.inc()
                         self._store_result(
                             TicketResult(
                                 ticket_id,
@@ -690,7 +800,7 @@ class OptimizerService:
                             )
                         )
                     else:
-                        self._failures += 1
+                        self._m_failures.inc()
                         self._store_result(
                             TicketResult(
                                 ticket_id,
@@ -712,7 +822,7 @@ class OptimizerService:
                     if isinstance(outcome, OptimizedPlan):
                         # Snapshotted from the memo before the failure —
                         # still a perfectly good plan.
-                        self._hits += 1
+                        self._m_hits.inc()
                         self._store_result(
                             TicketResult(
                                 ticket_id,
@@ -725,7 +835,7 @@ class OptimizerService:
                             )
                         )
                     else:
-                        self._failures += 1
+                        self._m_failures.inc()
                         self._store_result(
                             TicketResult(
                                 ticket_id,
@@ -799,7 +909,7 @@ class OptimizerService:
         if ctx is None or not ctx.expired(self.clock.now()):
             return
         with self._lock:
-            self._expired += 1
+            self._m_expired.inc()
         raise DeadlineExceededError(
             f"request {ctx.request_id} exceeded its {ctx.deadline_s}s "
             f"deadline before {what}"
@@ -810,10 +920,29 @@ class OptimizerService:
             return bind_sql(self.backend, sql)
         except OptimizeError:
             with self._lock:
-                self._failures += 1
+                self._m_failures.inc()
             raise
 
     def _optimize_query(
+        self, query: Query, ctx: Optional[RequestContext] = None
+    ) -> OptimizedPlan:
+        span = self._begin_request_span(ctx)
+        if span is None:
+            # Untraced: the exact pre-obs code path, no span objects.
+            return self._optimize_query_impl(query, ctx)
+        status = "done"
+        try:
+            return self._optimize_query_impl(query, ctx.with_parent_span(span.span_id))
+        except DeadlineExceededError:
+            status = "expired"
+            raise
+        except OptimizeError:
+            status = "failed"
+            raise
+        finally:
+            span.end(status=status)
+
+    def _optimize_query_impl(
         self, query: Query, ctx: Optional[RequestContext] = None
     ) -> OptimizedPlan:
         start = time.perf_counter()
@@ -821,7 +950,7 @@ class OptimizerService:
         with self._lock:
             hit = self._memo.get(signature)
             if hit is not None:
-                self._hits += 1
+                self._m_hits.inc()
                 self._memo.move_to_end(signature)
                 self._record_latency((time.perf_counter() - start) * 1000.0)
                 return hit
@@ -833,11 +962,11 @@ class OptimizerService:
         with self._lock:
             self._record_latency((time.perf_counter() - start) * 1000.0)
             if isinstance(outcome, DeadlineExceededError):
-                self._expired += 1
+                self._m_expired.inc()
             elif isinstance(outcome, OptimizeError):
-                self._failures += 1
+                self._m_failures.inc()
             else:
-                self._misses += 1
+                self._m_misses.inc()
                 self._memoize(signature, outcome)
         if isinstance(outcome, OptimizeError):
             raise outcome
@@ -927,16 +1056,23 @@ class OptimizerService:
         # Caller holds _lock.
         while len(self._results) >= self.results_capacity:
             self._results.popitem(last=False)
-            self._result_evictions += 1
+            self._m_evicted.inc()
         self._results[result.ticket_id] = result
+        span = self._open_spans.pop(result.ticket_id, None)
+        if span is not None:
+            # The single funnel every outcome passes through is also
+            # where the request's root span closes; ``done`` stamps (when
+            # present) keep the span aligned with the lifecycle trace.
+            span.end(at=result.trace.get("done"), status=result.status)
         event = self._events.pop(result.ticket_id, None)
         if event is not None:
             event.set()
 
     def _record_batch(self, occupancy: int) -> None:
-        self._batch_count += 1
-        self._batch_occupancy_sum += occupancy
-        self._batch_occupancy_max = max(self._batch_occupancy_max, occupancy)
+        self._m_batches.inc()
+        self._m_batch_occupancy_sum.inc(occupancy)
+        if occupancy > self._m_batch_occupancy_max.value:
+            self._m_batch_occupancy_max.set(occupancy)
 
     def _memoize(self, signature: str, plan: OptimizedPlan) -> None:
         # Caller holds _lock.
@@ -953,23 +1089,21 @@ class OptimizerService:
         self._memo[signature] = plan
 
     def _record_latency(self, latency_ms: float) -> None:
-        self._latencies_ms.append(latency_ms)
-        if len(self._latencies_ms) > _LATENCY_WINDOW:
-            del self._latencies_ms[: -_LATENCY_WINDOW]
+        self._m_latency.observe(latency_ms)
 
     def _record_stage(self, stage: str, duration_ms: float) -> None:
-        # Caller holds _lock.  Clamped at 0: stage stamps come from
-        # separate clock reads, and a sub-resolution interval must not
-        # surface as a negative latency.
-        window = self._stage_latencies_ms[stage]
-        window.append(max(0.0, duration_ms))
-        if len(window) > _LATENCY_WINDOW:
-            del window[: -_LATENCY_WINDOW]
+        # Clamped at 0: stage stamps come from separate clock reads, and
+        # a sub-resolution interval must not surface as a negative
+        # latency.  The histogram's ring buffer is bounded, so recording
+        # never allocates.
+        self._m_stages[stage].observe(max(0.0, duration_ms))
 
     def stage_latencies(self) -> Dict[str, List[float]]:
         """A snapshot of the per-stage duration windows (ms), for rollups."""
-        with self._lock:
-            return {stage: list(window) for stage, window in self._stage_latencies_ms.items()}
+        return {
+            stage: child.window_values().tolist()
+            for stage, child in self._m_stages.items()
+        }
 
     # ------------------------------------------------------------------
     # telemetry
@@ -982,25 +1116,31 @@ class OptimizerService:
         Per-stage percentiles (``stage_queue_p50_ms`` …) cover the four
         lifecycle durations: queued behind the flusher, inside the
         optimizer/engine, finalizing outcomes, and end-to-end total.
+
+        Every value is a view over this service's labeled series in the
+        process-global :mod:`repro.obs` registry — the keys (and their
+        numpy percentile math) are unchanged from the pre-obs stats, so
+        a Prometheus scrape and ``stats()`` can never disagree.
         """
         with self._lock:
-            latencies = np.asarray(self._latencies_ms, dtype=float)
-            hits, misses, failures = self._hits, self._misses, self._failures
-            expired, rejected = self._expired, self._rejected
-            stage_windows = {
-                stage: np.asarray(window, dtype=float)
-                for stage, window in self._stage_latencies_ms.items()
-            }
             pending = len(self._pending)
             memo_size = len(self._memo)
-            batch_count = self._batch_count
-            occupancy_sum = self._batch_occupancy_sum
-            occupancy_max = self._batch_occupancy_max
-            evictions = self._result_evictions
             started = self._flusher_alive()
+        latencies = self._m_latency.window_values()
+        hits = int(self._m_hits.value)
+        misses = int(self._m_misses.value)
+        failures = int(self._m_failures.value)
+        expired = int(self._m_expired.value)
+        rejected = int(self._m_rejected.value)
+        evictions = int(self._m_evicted.value)
+        batch_count = int(self._m_batches.value)
+        occupancy_sum = int(self._m_batch_occupancy_sum.value)
+        occupancy_max = int(self._m_batch_occupancy_max.value)
+        hook_errors = int(self._m_hook_errors.value)
         served = hits + misses
         stage_stats: Dict[str, float] = {}
-        for stage, window in stage_windows.items():
+        for stage, child in self._m_stages.items():
+            window = child.window_values()
             for pct in (50, 95, 99):
                 stage_stats[f"stage_{stage}_p{pct}_ms"] = (
                     float(np.percentile(window, pct)) if window.size else 0.0
@@ -1018,6 +1158,7 @@ class OptimizerService:
             "cache_hit_rate": hits / served if served else 0.0,
             "memo_size": memo_size,
             "results_evicted": evictions,
+            "obs_hook_errors": hook_errors,
             "started": 1.0 if started else 0.0,
             "latency_p50_ms": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
             "latency_p95_ms": float(np.percentile(latencies, 95)) if latencies.size else 0.0,

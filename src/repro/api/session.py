@@ -27,6 +27,7 @@ import os
 import threading
 from typing import Optional
 
+from repro import obs
 from repro.core.inference import FossOptimizer
 from repro.core.persistence import load_trainer, save_trainer
 from repro.core.trainer import FossConfig, FossTrainer
@@ -158,6 +159,22 @@ class FossSession:
 
         kwargs.setdefault("optimize_lock", self._optimize_lock)
         return OptimizerService(self.optimizer(), self.backend, **kwargs)
+
+    def observability(self) -> "obs.Observability":
+        """The process-wide :class:`repro.obs.Observability` facade.
+
+        Exposes the registry snapshot, Prometheus/JSON rendering,
+        ``dump()`` and the periodic dumper.  Also registers the backend's
+        ``stats()`` and the nn profiler as snapshot sources (idempotent),
+        so one JSON snapshot carries metrics, spans, engine counters and
+        per-op nn profiles together.
+        """
+        self._check_open()
+        from repro.nn import profile as nn_profile
+
+        obs.register_snapshot_source("backend", self.backend.stats)
+        obs.register_snapshot_source("nn_profile", nn_profile.observability_snapshot)
+        return obs.get_observability()
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -92,12 +92,36 @@ class _InferenceEnvironment:
         # streaming distinct queries must not accumulate entries forever.
         self._score_cache: Dict[Tuple[int, str, str, int, str, int], int] = {}
         self.score_cache_capacity = 1_000_000
+        self._staged_ctxs: Optional[Sequence] = None
+
+    def stage_ctxs(self, ctxs: Optional[Sequence]) -> None:
+        """Stage request contexts for the *next* ``begin_episode_many``.
+
+        ``BatchedEpisodeRunner`` calls ``begin_episode_many(queries)``
+        with no room for contexts, so :meth:`FossOptimizer.optimize_many`
+        stages them here (only for traced batches) and the first planning
+        call consumes them.  Untraced batches never stage, keeping the
+        backend call — and therefore any wire frames — identical to
+        pre-obs behavior.
+        """
+        self._staged_ctxs = ctxs
 
     def begin_episode(self, query: Query) -> EpisodeContext:
         return self.begin_episode_many([query])[0]
 
     def begin_episode_many(self, queries: Sequence[Query]) -> List[EpisodeContext]:
-        plannings = self.database.plan_many(queries)
+        ctxs, self._staged_ctxs = self._staged_ctxs, None
+        if ctxs is not None and len(ctxs) == len(queries):
+            plannings = self.database.plan_many(queries, ctxs=ctxs)
+            if any(planning is None for planning in plannings):
+                # A context expired between the optimizer's own pre-check
+                # and the backend batch; fall back to the caller's
+                # one-at-a-time path, which reports expiry per item.
+                raise DeadlineExceededError(
+                    "a request's deadline expired during batch planning"
+                )
+        else:
+            plannings = self.database.plan_many(queries)
         return [
             EpisodeContext(
                 query=query,
@@ -267,11 +291,24 @@ class FossOptimizer:
             bind_sql(self.database, query) if isinstance(query, str) else query
             for query in queries
         ]
+        # Traced batches stage their contexts on the environment so the
+        # first backend planning call joins the caller's span tree; the
+        # getattr keeps this duck-typed (no api import below the api
+        # layer) and free for untraced batches.
+        traced = ctxs is not None and any(
+            ctx is not None and getattr(ctx, "trace_id", None) for ctx in ctxs
+        )
+        if traced:
+            self._environment.stage_ctxs(list(ctxs))
         start = time.perf_counter()
-        per_agent: List[List[Episode]] = [
-            runner.run(self._environment, queries, deterministic=True)
-            for runner in self._runners
-        ]
+        try:
+            per_agent: List[List[Episode]] = [
+                runner.run(self._environment, queries, deterministic=True)
+                for runner in self._runners
+            ]
+        finally:
+            if traced:
+                self._environment.stage_ctxs(None)
         results: List[OptimizedPlan] = []
         contexts = [episodes[0].context for episodes in zip(*per_agent)]
 

@@ -43,6 +43,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro import obs
 from repro.engine.database import (
     Database,
     Dataset,
@@ -395,6 +396,13 @@ class ShardedBackend:
         the scatter was in flight (``None`` in their slots).
         """
         self._check_open()
+        # Traced batches get an ``engine.scatter`` span covering the full
+        # fan-out/gather; the workers' own spans live in their processes'
+        # tracers (pipes don't ship them back), so this is the engine-side
+        # leaf of a cross-process trace.
+        span = obs.span_for_ctxs(
+            "engine.scatter", ctxs, attrs={"op": kind, "batch": len(keys)}
+        )
         groups: Dict[int, List[int]] = {}
         for index, key in enumerate(keys):
             groups.setdefault(self._route(key), []).append(index)
@@ -441,7 +449,9 @@ class ShardedBackend:
             for worker in workers:
                 self._worker_locks[worker].release()
         if first_error is not None:
+            span.end(status="error")
             raise first_error
+        span.end()
         return out
 
     def _broadcast(self, kind: str) -> None:

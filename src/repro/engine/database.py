@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import StatisticsCatalog
 from repro.engine.wire import crc32_chain
@@ -273,10 +274,13 @@ class Database:
             return [self.plan(query, options) for query in queries]
         if len(ctxs) != len(queries):
             raise ValueError(f"ctxs length {len(ctxs)} != queries length {len(queries)}")
-        return [
-            None if context_expired(ctx) else self.plan(query, options)
-            for query, ctx in zip(queries, ctxs)
-        ]
+        with obs.span_for_ctxs(
+            "engine.batch", ctxs, attrs={"op": "plan_many", "batch": len(queries)}
+        ):
+            return [
+                None if context_expired(ctx) else self.plan(query, options)
+                for query, ctx in zip(queries, ctxs)
+            ]
 
     def plan_with_hints_many(
         self,
@@ -295,12 +299,15 @@ class Database:
             ]
         if len(ctxs) != len(requests):
             raise ValueError(f"ctxs length {len(ctxs)} != requests length {len(requests)}")
-        return [
-            None
-            if context_expired(ctx)
-            else self.plan_with_hints(query, join_order, join_methods)
-            for (query, join_order, join_methods), ctx in zip(requests, ctxs)
-        ]
+        with obs.span_for_ctxs(
+            "engine.batch", ctxs, attrs={"op": "hint_many", "batch": len(requests)}
+        ):
+            return [
+                None
+                if context_expired(ctx)
+                else self.plan_with_hints(query, join_order, join_methods)
+                for (query, join_order, join_methods), ctx in zip(requests, ctxs)
+            ]
 
     # ------------------------------------------------------------------
     # execution
@@ -378,12 +385,15 @@ class Database:
             ]
         if len(ctxs) != len(requests):
             raise ValueError(f"ctxs length {len(ctxs)} != requests length {len(requests)}")
-        return [
-            None
-            if context_expired(ctx)
-            else self.execute(query, plan, timeout_ms=timeout_ms)
-            for (query, plan, timeout_ms), ctx in zip(requests, ctxs)
-        ]
+        with obs.span_for_ctxs(
+            "engine.batch", ctxs, attrs={"op": "execute_many", "batch": len(requests)}
+        ):
+            return [
+                None
+                if context_expired(ctx)
+                else self.execute(query, plan, timeout_ms=timeout_ms)
+                for (query, plan, timeout_ms), ctx in zip(requests, ctxs)
+            ]
 
     def original_latency(self, query: Query) -> float:
         """Latency of the expert's own plan (cached)."""

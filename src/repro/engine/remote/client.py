@@ -39,6 +39,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine.backend import PlanningMemo
 from repro.engine.database import (
     Database,
@@ -195,6 +196,11 @@ class RemoteBackend:
         self._closed = False
         self._plan_memo = PlanningMemo(self.local.hint_cache_capacity)
         self._hint_memo = PlanningMemo(self.local.hint_cache_capacity)
+        # Per-op RPC counter in the process-global registry (declared
+        # before the handshake below, which is itself an RPC).
+        self._m_calls = obs.get_registry().counter(
+            "engine_remote_calls_total", "framed RPC round trips by op", ("kind",)
+        )
         # Connect-time handshake: refuse to serve across datagen drift.
         hello = self._call("fingerprint", None)
         self.remote_fingerprint: str = hello["dataset_fingerprint"]
@@ -245,15 +251,39 @@ class RemoteBackend:
         encoded into a protocol-v2 3-tuple frame when the server supports
         it; a v1 server gets the plain 2-tuple and deadlines stay
         client-enforced.
+
+        Tracing: when any context carries a ``trace_id``, a
+        ``remote.call`` span wraps the round trip, the wire contexts are
+        re-parented on it (so server-side spans nest correctly), and any
+        spans the v2 server piggybacked on the reply (a 3-slot ``ok``
+        body) are ingested into this process's tracer.  Untraced calls
+        build the exact same frame bytes as before this feature existed.
         """
         self._check_open()
-        wire_ctxs = (
-            contexts_to_wire(ctxs)
-            if ctxs is not None
+        self._m_calls.labels(kind=kind).inc()
+        span = None
+        send_ctxs = ctxs
+        if (
+            ctxs is not None
             and any(ctx is not None for ctx in ctxs)
             and getattr(self, "server_protocol", 1) >= 2
-            else None
-        )
+        ):
+            opened = obs.span_for_ctxs(
+                "remote.call", ctxs, attrs={"kind": kind, "url": self.url}
+            )
+            if opened.span_id is not None:
+                span = opened
+                send_ctxs = [
+                    ctx.with_parent_span(span.span_id)
+                    if ctx is not None
+                    and getattr(ctx, "trace_id", None)
+                    and hasattr(ctx, "with_parent_span")
+                    else ctx
+                    for ctx in ctxs
+                ]
+            wire_ctxs = contexts_to_wire(send_ctxs)
+        else:
+            wire_ctxs = None
         if wire_ctxs is not None:
             request = pickle.dumps(
                 (kind, payload, wire_ctxs), protocol=pickle.HIGHEST_PROTOCOL
@@ -324,10 +354,20 @@ class RemoteBackend:
                     time.sleep(self.reconnect_backoff_s * attempts)
         finally:
             conn.lock.release()
+        # A transport error above abandons the open span (never recorded —
+        # the tracer holds no reference to open spans, so nothing leaks).
         status, body = pickle.loads(response_bytes)
         if status != "ok":
+            if span is not None:
+                span.end(status="error")
             raise RemoteEngineError(f"remote engine at {self.url}: {body}")
-        result, executions = body
+        result, executions = body[0], body[1]
+        if len(body) > 2 and body[2]:
+            # Protocol v2 with tracing: the server drained the spans it
+            # produced for this request's traces into slot 3 of the reply.
+            obs.get_tracer().ingest(body[2])
+        if span is not None:
+            span.end()
         with self._state_lock:
             # Monotonic merge: responses from different pooled connections
             # can land out of order.

@@ -35,6 +35,7 @@ import sys
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.engine.backend import ShardedBackend
 from repro.engine.database import dataset_fingerprint
 from repro.engine.wire import (
@@ -64,11 +65,21 @@ class EngineServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         workload_info: Optional[Dict] = None,
         owns_backend: bool = False,
+        metrics_endpoint: bool = False,
     ) -> None:
         self.backend = backend
         self.max_frame_bytes = max_frame_bytes
         self.workload_info = dict(workload_info or {})
         self._owns_backend = owns_backend
+        # Opt-in plain-HTTP ``/metrics`` on the same listener (no extra
+        # port, no new RPC kind): frame clients always open with the
+        # ``FOSW`` magic, so a ``GET `` prefix is unambiguous.
+        self._metrics_endpoint = bool(metrics_endpoint)
+        self._m_requests = obs.get_registry().counter(
+            "engine_requests_total",
+            "engine RPCs dispatched by op kind",
+            ("kind",),
+        )
         # Computed once: the handshake must not pay a full-table crc per
         # connection, and the dataset is immutable.
         self._fingerprint = dataset_fingerprint(backend.dataset)
@@ -136,6 +147,15 @@ class EngineServer:
             try:
                 # close() may have raced the accept and shut the socket.
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if self._metrics_endpoint:
+                    # Peek (not read) the first bytes: a framed client opens
+                    # with the FOSW magic, an HTTP scraper with ``GET ``.
+                    # The peeked bytes stay in the kernel buffer, so the
+                    # frame path below is untouched for RPC clients.
+                    prefix = sock.recv(4, socket.MSG_PEEK)
+                    if prefix == b"GET ":
+                        self._serve_metrics_http(sock)
+                        return
                 stream = sock.makefile("rwb")
             except OSError:
                 return
@@ -186,12 +206,47 @@ class EngineServer:
             with self._lock:
                 self._clients.pop(client_id, None)
 
+    def _serve_metrics_http(self, sock: socket.socket) -> None:
+        """Answer one plain-HTTP scrape (``/metrics`` | ``/metrics.json``).
+
+        One request per connection, HTTP/1.0 style: read the request line,
+        write the response, close.  Scrapers (curl, Prometheus) are happy
+        with that, and it keeps the handler trivially stateless.
+        """
+        try:
+            sock.settimeout(5.0)
+            data = b""
+            while b"\r\n" not in data and len(data) < 4096:
+                chunk = sock.recv(1024)
+                if not chunk:
+                    return
+                data += chunk
+            request_line = data.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+            parts = request_line.split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            response = obs.metrics_http_response(path)
+            if response is None:
+                body = b"not found\n"
+                response = (
+                    b"HTTP/1.0 404 Not Found\r\n"
+                    b"Content-Type: text/plain; charset=utf-8\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                    + body
+                )
+            sock.sendall(response)
+        except OSError:
+            pass
+
     def _dispatch(self, payload: bytes):
         """One request → ``("ok", (result, executions))`` or ``("err", msg)``.
 
         Requests are ``(kind, body)`` 2-tuples (protocol v1) or
         ``(kind, body, wire_ctxs)`` 3-tuples (v2, contexts re-anchored on
-        this machine's clock so deadlines are enforced server-side).
+        this machine's clock so deadlines are enforced server-side).  When
+        any v2 context carries a live trace id, the ok body grows a third
+        slot — ``(result, executions, span_dicts)`` — piggybacking the
+        server-side spans back to the client; untraced requests get the
+        exact pre-obs 2-slot body.
         """
         try:
             decoded = pickle.loads(payload)
@@ -199,6 +254,27 @@ class EngineServer:
             ctxs = contexts_from_wire(decoded[2]) if len(decoded) > 2 else None
         except Exception as exc:
             return ("err", f"undecodable request: {exc!r}")
+        self._m_requests.labels(kind=kind).inc()
+        # Traced contexts (protocol v2 with live trace ids) grow a
+        # ``server.dispatch`` span; every span recorded under these trace
+        # ids while the op runs is drained afterwards and shipped back in
+        # the reply, so the client can join them onto the caller's tree.
+        trace_ids = set()
+        if ctxs is not None:
+            for ctx in ctxs:
+                trace_id = getattr(ctx, "trace_id", None) if ctx is not None else None
+                if trace_id:
+                    trace_ids.add(trace_id)
+        span = obs.span_for_ctxs("server.dispatch", ctxs, attrs={"kind": kind})
+        if span.span_id is not None and ctxs is not None:
+            ctxs = [
+                ctx.with_parent_span(span.span_id)
+                if ctx is not None
+                and getattr(ctx, "trace_id", None)
+                and hasattr(ctx, "with_parent_span")
+                else ctx
+                for ctx in ctxs
+            ]
         backend = self.backend
         try:
             if kind == "ping":
@@ -236,8 +312,19 @@ class EngineServer:
                 result = backend.stats()
             else:
                 raise ValueError(f"unknown engine RPC {kind!r}")
+            span.end()
+            if trace_ids:
+                # 3-slot ok body only for traced requests: v1 clients and
+                # untraced v2 calls keep the exact pre-obs 2-slot reply.
+                spans = obs.get_tracer().drain(trace_ids)
+                return ("ok", (result, backend.executions, spans))
             return ("ok", (result, backend.executions))
         except Exception as exc:
+            span.end(status="error")
+            if trace_ids:
+                # err replies carry no span slot; drain so the tracer's
+                # ring is not left holding this trace's server-side spans.
+                obs.get_tracer().drain(trace_ids)
             return ("err", f"{kind} failed: {exc!r}")
 
     # ------------------------------------------------------------------
@@ -301,6 +388,7 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    metrics: bool = False,
 ) -> EngineServer:
     """Build a dataset + backend for ``workload`` and return a live server.
 
@@ -324,6 +412,7 @@ def serve(
         max_frame_bytes=max_frame_bytes,
         workload_info={"name": workload, "scale": scale, "seed": seed},
         owns_backend=True,
+        metrics_endpoint=metrics,
     )
 
 
@@ -351,6 +440,12 @@ def main(argv=None) -> int:
         "--port", type=int, default=7733, help="bind port (0 = OS-assigned)"
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="serve plain-HTTP GET /metrics (Prometheus) and /metrics.json "
+        "snapshots on the same listener",
+    )
+    parser.add_argument(
         "--max-frame-mb",
         type=float,
         default=DEFAULT_MAX_FRAME_BYTES / (1024 * 1024),
@@ -371,6 +466,7 @@ def main(argv=None) -> int:
         host=args.host,
         port=args.port,
         max_frame_bytes=int(args.max_frame_mb * 1024 * 1024),
+        metrics=args.metrics,
     )
     # The listening line is machine-readable on purpose: launchers (CI, the
     # serve_remote example) wait for it and parse the url out of it.

@@ -27,6 +27,7 @@ inside a frame is corruption — the peer died mid-message.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 import time
 import zlib
@@ -168,6 +169,16 @@ class WireContext:
     anchored_at: float = 0.0
     deadline_s: Optional[float] = None
     priority: int = 0
+    #: ``repro.obs`` trace membership (``None`` = untraced); carried so a
+    #: standalone server still joins its spans onto the caller's trace.
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+
+    def with_parent_span(self, span_id: Optional[str]) -> "WireContext":
+        """A copy whose downstream spans parent on ``span_id``."""
+        if span_id == self.parent_span_id:
+            return self
+        return dataclasses.replace(self, parent_span_id=span_id)
 
     @property
     def deadline_at(self) -> Optional[float]:
@@ -201,6 +212,12 @@ class WireContext:
         remaining = self.remaining_s(now)
         if remaining is not None:
             data["ttl_s"] = remaining
+        # Trace keys only when tracing is live: untraced frames stay
+        # byte-identical to the pre-obs wire format.
+        if self.trace_id:
+            data["trace"] = self.trace_id
+            if self.parent_span_id:
+                data["span"] = self.parent_span_id
         return data
 
     @classmethod
@@ -213,6 +230,8 @@ class WireContext:
             anchored_at=time.monotonic(),  # repro-lint: allow[clock-monotonic]
             deadline_s=data.get("ttl_s"),
             priority=int(data.get("priority", 0)),
+            trace_id=data.get("trace"),
+            parent_span_id=data.get("span"),
         )
 
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.inference import OptimizedPlan
 from repro.engine.backend import EngineBackend
 from repro.experiments.metrics import (
@@ -80,6 +81,7 @@ def evaluate_optimizer(
     Expert plans and both execution sweeps go through the engine's batch
     APIs, so a sharded backend evaluates a workload across workers.
     """
+    started = time.perf_counter()
     query_ids: List[str] = [wq.query_id for wq in queries]
     expert_plannings = database.plan_many([wq.query for wq in queries])
     expert_results = database.execute_many(
@@ -93,6 +95,13 @@ def evaluate_optimizer(
     optimization: List[float] = [result.optimization_ms for result in chosen]
     expert_latencies: List[float] = [result.latency_ms for result in expert_results]
     expert_optimization: List[float] = [planning.planning_ms for planning in expert_plannings]
+    registry = obs.get_registry()
+    registry.counter(
+        "experiments_evaluations_total", "evaluate_optimizer sweeps run"
+    ).inc()
+    registry.histogram(
+        "experiments_evaluation_ms", "wall time of one evaluate_optimizer sweep"
+    ).observe((time.perf_counter() - started) * 1000.0)
     return EvaluationResult(
         query_ids=query_ids,
         latencies_ms=latencies,

@@ -116,6 +116,16 @@ def record(op: str, nbytes: int = 0, seconds: float = 0.0) -> None:
         COUNTERS.seconds[op] += seconds
 
 
+def observability_snapshot() -> Dict:
+    """The nn-profiler's contribution to a ``repro.obs`` snapshot.
+
+    Registered as a snapshot source by ``FossSession.observability()``;
+    deliberately free of any ``repro.obs`` import so the nn layer stays at
+    the bottom of the dependency DAG.
+    """
+    return {"enabled": ENABLED, **COUNTERS.as_dict()}
+
+
 @contextlib.contextmanager
 def profile() -> Iterator[OpCounters]:
     """Reset the counters and enable per-op recording for the block."""

@@ -1,0 +1,405 @@
+"""Typed, labeled metrics: ``Counter`` / ``Gauge`` / ``Histogram`` in a registry.
+
+The metric model is deliberately Prometheus-shaped — a metric has a name,
+a type, a help string and a tuple of label *names*; each distinct
+combination of label *values* is one child series — because that is what
+the exporters (:mod:`repro.obs.export`) render and what every downstream
+scraper understands.  Everything is stdlib + numpy.
+
+Concurrency: each metric carries its own ``threading.Lock`` guarding its
+children and their values; the registry lock only guards the name →
+metric table.  No metric method ever performs a blocking call (no I/O, no
+waits) while holding a lock, so the serving layer can update metrics from
+under its own locks without ordering hazards — the discipline the repo's
+``lock-blocking`` lint rule enforces.
+
+The :class:`Histogram` is two structures in one update:
+
+* fixed upper-bound **buckets** (a numpy ``searchsorted`` per observation)
+  plus running sum/count — the cheap, constant-memory shape exporters
+  want;
+* a bounded numpy **ring buffer** of the most recent observations, for
+  exact percentile queries over a sliding window.  This replaces the
+  serving layer's old per-request ``list.append`` + slice-trim windows,
+  which re-allocated the window repeatedly under load; the ring buffer is
+  allocated once and overwritten in place forever after.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram upper bounds, in milliseconds: spans sub-millisecond
+#: cache hits through multi-second cold optimizations.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Default ring-buffer window for percentile queries (matches the serving
+#: layer's historical ``_LATENCY_WINDOW``).
+DEFAULT_WINDOW = 10_000
+
+
+class _Metric:
+    """Shared shell: name/help/labelnames, children table, per-metric lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues):
+        """The child series for one combination of label values."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default(self):
+        """The single unlabeled child (only for metrics with no labelnames)."""
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labeled by {self.labelnames}; "
+                f"call .labels(...) first"
+            )
+        return self.labels()
+
+    def series(self) -> List[Tuple[Dict[str, str], object]]:
+        """``(labels dict, child)`` pairs — a stable snapshot for exporters."""
+        with self._lock:
+            items = list(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), child) for key, child in items
+        ]
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge to decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (requests, errors, cache hits)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at read time instead of storing a value.
+
+        The callback runs *outside* the metric lock (it may take other
+        locks of its own, e.g. a backend snapshotting a cache size).
+        """
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        return float(fn())
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._default().set_function(fn)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_uppers", "_counts", "_sum", "_count", "_ring")
+
+    def __init__(self, lock: threading.Lock, uppers: np.ndarray, window: int) -> None:
+        self._lock = lock
+        self._uppers = uppers
+        # One slot per bucket plus the +Inf overflow slot.
+        self._counts = np.zeros(uppers.size + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+        # Allocated once; observations overwrite in place (never grows).
+        self._ring = np.zeros(window, dtype=np.float64) if window > 0 else None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._counts[int(np.searchsorted(self._uppers, value, side="left"))] += 1
+            self._sum += value
+            if self._ring is not None:
+                self._ring[self._count % self._ring.size] = value
+            self._count += 1
+
+    # -- reads ----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> np.ndarray:
+        """Per-bucket counts (last slot is +Inf), as a copy."""
+        with self._lock:
+            return self._counts.copy()
+
+    def window_values(self) -> np.ndarray:
+        """The retained observation window (a copy, unordered multiset)."""
+        with self._lock:
+            if self._ring is None or self._count == 0:
+                return np.empty(0, dtype=np.float64)
+            filled = min(self._count, self._ring.size)
+            return self._ring[:filled].copy()
+
+    def window_nbytes(self) -> int:
+        """Fixed allocation size of the window buffer (regression guard)."""
+        return 0 if self._ring is None else self._ring.nbytes
+
+    def percentile(self, pct: float) -> float:
+        values = self.window_values()
+        return float(np.percentile(values, pct)) if values.size else 0.0
+
+    def mean(self) -> float:
+        values = self.window_values()
+        return float(values.mean()) if values.size else 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution + bounded window for exact percentiles."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS_MS,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        uppers = np.asarray(sorted(float(b) for b in buckets), dtype=np.float64)
+        if uppers.size == 0:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if window < 0:
+            raise ValueError(f"histogram {name!r} window must be >= 0")
+        self.buckets = tuple(uppers.tolist())
+        self.window = int(window)
+        self._uppers = uppers
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self._uppers, self.window)
+
+    # Unlabeled convenience surface, mirroring the child's reads.
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+    def bucket_counts(self) -> np.ndarray:
+        return self._default().bucket_counts()
+
+    def window_values(self) -> np.ndarray:
+        return self._default().window_values()
+
+    def window_nbytes(self) -> int:
+        return self._default().window_nbytes()
+
+    def percentile(self, pct: float) -> float:
+        return self._default().percentile(pct)
+
+    def mean(self) -> float:
+        return self._default().mean()
+
+
+class MetricsRegistry:
+    """Name → metric table; the one place exporters walk.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: re-declaring an
+    existing name returns the existing metric when the declaration agrees
+    (same type and labelnames) and raises when it does not — two
+    subsystems silently sharing one name with different shapes is a bug.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs) -> _Metric:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}; "
+                        f"cannot re-declare as {cls.kind} with {labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames=(),
+        buckets: Iterable[float] = DEFAULT_BUCKETS_MS,
+        window: int = DEFAULT_WINDOW,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets, window=window
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        """All registered metrics, sorted by name (exporter order)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._metrics.pop(name, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A JSON-friendly dump of every metric and series."""
+        out: Dict = {}
+        for metric in self.metrics():
+            series = []
+            for labels, child in metric.series():
+                entry: Dict = {"labels": labels}
+                if metric.kind == "histogram":
+                    entry["count"] = int(child.count)
+                    entry["sum"] = float(child.sum)
+                    entry["buckets"] = {
+                        str(upper): int(count)
+                        for upper, count in zip(
+                            metric.buckets, child.bucket_counts().tolist()
+                        )
+                    }
+                    entry["p50"] = child.percentile(50)
+                    entry["p95"] = child.percentile(95)
+                    entry["p99"] = child.percentile(99)
+                else:
+                    entry["value"] = float(child.value)
+                series.append(entry)
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out

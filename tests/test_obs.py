@@ -1,0 +1,377 @@
+"""repro.obs: metrics registry, tracer, exporters, and the serving views.
+
+The contracts under test (see :mod:`repro.obs`):
+
+* typed metrics — ``Counter`` rejects negative increments, ``Gauge``
+  supports callback-backed values, ``Histogram`` keeps a fixed bucket
+  vector plus a *bounded* numpy ring window (constant memory no matter
+  how many observations pass through — the regression guard for the old
+  list-append/slice latency windows);
+* one process-global registry — re-registration returns the same metric,
+  type/labelname mismatches are loud, snapshots are plain JSON data;
+* the tracer joins spans into trees by ``trace_id``, round-trips spans
+  through their wire dicts (``ingest``/``drain``), and is bounded;
+* exporters render the Prometheus text format (cumulative ``le`` buckets
+  ending at ``+Inf``) and a JSON snapshot, atomically via ``dump``;
+* the ``REPRO_OBS`` gate: with tracing disabled, no trace ids are
+  minted, contexts carry no trace keys on the wire, and span helpers
+  return inert null spans — the exact pre-obs code path;
+* ``OptimizerService`` telemetry is a view over the registry: the stats
+  keys are unchanged, the latency window is bounded, and a raising
+  ``trace_hook`` is counted (``obs_hook_errors``), never propagated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import RequestContext
+from repro.api.service import _LATENCY_WINDOW, OptimizerService
+from repro.obs.export import render_json, render_prometheus, snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    """A private registry so tests do not disturb the process-global one."""
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture()
+def obs_disabled():
+    """Tracing off for the duration of the test; always restored."""
+    previous = obs.set_enabled(False)
+    try:
+        yield
+    finally:
+        obs.set_enabled(previous)
+
+
+@pytest.fixture()
+def obs_enabled():
+    previous = obs.set_enabled(True)
+    try:
+        yield
+    finally:
+        obs.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("t_requests_total", "requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_is_loud(self, registry):
+        c = registry.counter("t_neg_total", "x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_create_independent_series(self, registry):
+        metric = registry.counter("t_by_tenant_total", "x", ("tenant",))
+        metric.labels(tenant="a").inc()
+        metric.labels(tenant="b").inc(3)
+        assert metric.labels(tenant="a").value == 1
+        assert metric.labels(tenant="b").value == 3
+
+    def test_same_labels_return_same_child(self, registry):
+        metric = registry.counter("t_same_total", "x", ("k",))
+        assert metric.labels(k="v") is metric.labels(k="v")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("t_depth", "x")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4
+
+    def test_callback_backed_value(self, registry):
+        g = registry.gauge("t_cb", "x")
+        g.set_function(lambda: 41 + 1)
+        assert g.value == 42
+
+
+class TestHistogram:
+    def test_observe_count_sum_percentile(self, registry):
+        h = registry.histogram("t_latency_ms", "x")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.percentile(50) == pytest.approx(2.5)
+        assert h.mean() == pytest.approx(2.5)
+
+    def test_window_is_bounded_ring(self, registry):
+        h = registry.histogram("t_ring_ms", "x", window=100)
+        for i in range(1000):
+            h.observe(float(i))
+        window = h.window_values()
+        assert window.size == 100
+        # The ring keeps the most recent observations.
+        assert window.min() >= 900.0
+        assert h.count == 1000  # cumulative count is not windowed
+        assert h.window_nbytes() == 100 * np.dtype(np.float64).itemsize
+
+    def test_fifty_thousand_observations_stay_constant_memory(self, registry):
+        """The regression guard for the old list-append latency windows."""
+        h = registry.histogram("t_mem_ms", "x", window=_LATENCY_WINDOW)
+        for i in range(50_000):
+            h.observe(float(i % 997))
+        assert h.window_values().size == _LATENCY_WINDOW
+        assert h.window_nbytes() == _LATENCY_WINDOW * 8
+        assert h.count == 50_000
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_metric(self, registry):
+        a = registry.counter("t_dup_total", "x")
+        b = registry.counter("t_dup_total", "x")
+        assert a is b
+
+    def test_type_mismatch_is_loud(self, registry):
+        registry.counter("t_kind_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("t_kind_total", "x")
+
+    def test_labelname_mismatch_is_loud(self, registry):
+        registry.counter("t_lbl_total", "x", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("t_lbl_total", "x", ("b",))
+
+    def test_snapshot_is_plain_data(self, registry):
+        registry.counter("t_snap_total", "x").inc(2)
+        registry.histogram("t_snap_ms", "x").observe(7.0)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must be JSON-serializable as-is
+        assert snap["t_snap_total"]["series"][0]["value"] == 2
+        hist = snap["t_snap_ms"]["series"][0]
+        assert hist["count"] == 1 and hist["sum"] == pytest.approx(7.0)
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_begin_end_records_and_parents(self, tracer, obs_enabled):
+        tid = obs.new_trace_id()
+        root = tracer.begin("root", trace_id=tid)
+        child = tracer.begin("child", trace_id=tid, parent_id=root.span_id)
+        child.end()
+        root.end()
+        spans = tracer.spans(tid)
+        assert [s.name for s in spans] == ["child", "root"]
+        tree = tracer.tree(tid)
+        assert len(tree) == 1 and tree[0]["name"] == "root"
+        assert tree[0]["children"][0]["name"] == "child"
+
+    def test_span_end_is_idempotent(self, tracer, obs_enabled):
+        tid = obs.new_trace_id()
+        span = tracer.begin("once", trace_id=tid)
+        span.end()
+        span.end()
+        assert len(tracer.spans(tid)) == 1
+
+    def test_wire_round_trip_via_ingest_and_drain(self, tracer, obs_enabled):
+        tid = obs.new_trace_id()
+        with tracer.begin("op", trace_id=tid, attrs={"k": "v"}):
+            pass
+        drained = tracer.drain({tid})
+        assert len(drained) == 1 and tracer.spans(tid) == []
+        assert drained[0]["name"] == "op" and drained[0]["attrs"] == {"k": "v"}
+        other = Tracer()
+        other.ingest(drained)
+        spans = other.spans(tid)
+        assert len(spans) == 1 and spans[0].attrs == {"k": "v"}
+
+    def test_capacity_is_bounded(self, obs_enabled):
+        small = Tracer(capacity=8)
+        tid = obs.new_trace_id()
+        for i in range(100):
+            small.add(f"s{i}", trace_id=tid, start_s=0.0, end_s=1.0)
+        assert len(small) == 8
+
+    def test_orphan_spans_surface_as_roots(self, tracer, obs_enabled):
+        tid = obs.new_trace_id()
+        tracer.add("lost-parent", trace_id=tid, parent_id="s-missing", start_s=0.0, end_s=1.0)
+        tree = tracer.tree(tid)
+        assert len(tree) == 1 and tree[0]["name"] == "lost-parent"
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("t_exp_total", "help text", ("op",)).labels(op="plan").inc(3)
+        h = registry.histogram("t_exp_ms", "x", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        text = render_prometheus(registry)
+        assert "# HELP t_exp_total help text" in text
+        assert "# TYPE t_exp_total counter" in text
+        assert 't_exp_total{op="plan"} 3' in text
+        # Cumulative le buckets ending at +Inf, plus _sum/_count.
+        assert 't_exp_ms_bucket{le="1"} 1' in text
+        assert 't_exp_ms_bucket{le="10"} 2' in text
+        assert 't_exp_ms_bucket{le="+Inf"} 3' in text
+        assert "t_exp_ms_count 3" in text
+
+    def test_json_snapshot_with_sources_and_errors(self, registry, tracer):
+        registry.counter("t_js_total", "x").inc()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        snap = snapshot(registry, tracer, sources={"good": lambda: {"a": 1}, "bad": broken})
+        assert snap["sources"]["good"] == {"a": 1}
+        assert "boom" in snap["sources"]["bad"]["error"]
+        parsed = json.loads(render_json(registry, tracer))
+        assert "t_js_total" in parsed["metrics"]
+
+    def test_dump_writes_atomically(self, registry, tmp_path):
+        registry.counter("t_dump_total", "x").inc()
+        path = tmp_path / "metrics.json"
+        obs.dump(str(path), registry=registry, fmt="json")
+        data = json.loads(path.read_text())
+        assert "t_dump_total" in data["metrics"]
+        prom = tmp_path / "metrics.prom"
+        obs.dump(str(prom), registry=registry, fmt="prometheus")
+        assert "t_dump_total" in prom.read_text()
+
+    def test_periodic_dumper_writes_and_stops(self, registry, tmp_path):
+        path = tmp_path / "periodic.json"
+        dumper = obs.PeriodicDumper(str(path), interval_s=0.05, registry=registry)
+        dumper.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not path.exists() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            dumper.stop()
+        assert path.exists()
+        json.loads(path.read_text())
+
+    def test_metrics_http_response_paths(self):
+        ok = obs.metrics_http_response("/metrics")
+        assert ok is not None and ok.startswith(b"HTTP/1.0 200")
+        js = obs.metrics_http_response("/metrics.json")
+        assert js is not None and b"application/json" in js
+        assert obs.metrics_http_response("/nope") is None
+
+
+# ----------------------------------------------------------------------
+# the REPRO_OBS gate
+# ----------------------------------------------------------------------
+class TestEnableGate:
+    def test_disabled_mints_no_trace_ids(self, obs_disabled):
+        assert obs.new_trace_id() is None
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        assert ctx.trace_id is None
+        assert set(ctx.to_wire()) == {"id", "tenant"}
+
+    def test_disabled_span_helpers_are_inert(self, obs_disabled):
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        span = obs.span_for_ctxs("x", [ctx])
+        assert span.span_id is None
+        with span:  # no-op context manager, records nothing
+            pass
+
+    def test_enabled_traced_context_carries_trace_keys(self, obs_enabled):
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        assert ctx.trace_id is not None
+        wire = ctx.with_parent_span("s-1").to_wire()
+        assert wire["trace"] == ctx.trace_id and wire["span"] == "s-1"
+        back = RequestContext.from_wire(wire)
+        assert back.trace_id == ctx.trace_id and back.parent_span_id == "s-1"
+
+    def test_untraced_wire_form_is_byte_identical(self, obs_enabled):
+        ctx = RequestContext.mint(tenant="t")
+        assert "trace" not in ctx.to_wire() and "span" not in ctx.to_wire()
+
+    def test_set_enabled_returns_previous(self):
+        previous = obs.set_enabled(False)
+        try:
+            assert obs.set_enabled(True) is False
+        finally:
+            obs.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# serving telemetry as registry views
+# ----------------------------------------------------------------------
+class TestServiceObsViews:
+    def _service(self, **kwargs) -> OptimizerService:
+        # No optimizer/backend needed: these tests drive the telemetry
+        # surfaces directly, never a flush.
+        return OptimizerService(None, None, **kwargs)
+
+    def test_stats_keys_include_legacy_and_obs(self):
+        stats = self._service().stats()
+        for key in (
+            "requests",
+            "served",
+            "failures",
+            "expired",
+            "rejected",
+            "pending",
+            "cache_hits",
+            "cache_misses",
+            "results_evicted",
+            "batches",
+            "obs_hook_errors",
+        ):
+            assert key in stats, key
+        assert stats["obs_hook_errors"] == 0
+
+    def test_latency_window_is_bounded_over_50k_requests(self):
+        service = self._service()
+        for i in range(50_000):
+            service._record_latency(float(i % 1009))
+        window = service._m_latency.window_values()
+        assert window.size == _LATENCY_WINDOW
+        assert service._m_latency.window_nbytes() == _LATENCY_WINDOW * 8
+        stats = service.stats()
+        assert stats["latency_p50_ms"] > 0.0
+
+    def test_raising_trace_hook_is_counted_not_propagated(self):
+        def hook(ctx, stage, timestamp):
+            raise RuntimeError("hook boom")
+
+        service = self._service(trace_hook=hook)
+        ctx = RequestContext.mint(tenant="t")
+        service._trace(ctx, "enqueue", 0.0)  # must not raise
+        service._trace(ctx, "flush", 1.0)
+        assert service.stats()["obs_hook_errors"] == 2
+
+    def test_tenant_label_lands_on_the_series(self):
+        service = self._service(tenant="acme")
+        service._m_hits.inc()
+        hits = obs.get_registry().get("serving_cache_hits_total")
+        values = {labels["tenant"]: child.value for labels, child in hits.series()}
+        assert values.get("acme", 0) >= 1
+
+
+def test_observability_facade_renders_both_formats():
+    facade = obs.get_observability()
+    text = facade.prometheus()
+    assert "# TYPE" in text or text == ""
+    json.loads(facade.json())

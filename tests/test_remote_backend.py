@@ -27,17 +27,22 @@ from __future__ import annotations
 import faulthandler
 import json
 import os
+import pickle
 import socket
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
-from repro.api import FossConfig, FossSession, ServiceGroup
+from repro import obs
+from repro.api import FossConfig, FossSession, RequestContext, ServiceGroup
 from repro.core.aam import AAMConfig
 from repro.core.icp import IncompletePlan
 from repro.engine.backend import ShardedBackend, make_backend
 from repro.engine.remote import EngineServer, RemoteBackend, RemoteEngineError
-from repro.engine.wire import FrameTooLargeError
+from repro.engine.wire import FrameTooLargeError, contexts_to_wire
 from repro.optimizer.plans import plan_signature
 
 # Per-test deadlock guard: generous against 1-CPU CI, tiny against a hang.
@@ -428,3 +433,197 @@ class TestRemoteRobustness:
             make_backend(job_workload, engine_url="http://localhost:80")
         with pytest.raises(ValueError, match="engine_url"):
             FossConfig(engine_url="localhost:7733")
+
+
+# ----------------------------------------------------------------------
+# cross-wire span propagation (repro.obs)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def obs_tracing():
+    """Tracing on for the test; tracer and enabled-state restored after."""
+    previous = obs.set_enabled(True)
+    try:
+        yield obs.get_tracer()
+    finally:
+        obs.get_tracer().clear()
+        obs.set_enabled(previous)
+
+
+class TestWireTracing:
+    def test_untraced_wire_dicts_ignore_obs_state(self, job_workload):
+        """Untraced context encoding is bitwise-independent of the obs gate."""
+        ctx = RequestContext.mint(tenant="t", deadline_s=30.0)
+        enabled_bytes = pickle.dumps(contexts_to_wire([ctx], now=ctx.submitted_at))
+        previous = obs.set_enabled(False)
+        try:
+            disabled_bytes = pickle.dumps(contexts_to_wire([ctx], now=ctx.submitted_at))
+        finally:
+            obs.set_enabled(previous)
+        assert enabled_bytes == disabled_bytes
+        assert "trace" not in ctx.to_wire() and "span" not in ctx.to_wire()
+
+    def test_untraced_dispatch_reply_is_two_slot(
+        self, engine_server, job_workload, obs_tracing
+    ):
+        query = job_workload.train[30].query
+        ctx = RequestContext.mint(tenant="t", deadline_s=60.0)
+        payload = pickle.dumps(
+            ("plan_many", ([query], None), contexts_to_wire([ctx])),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        status, body = engine_server._dispatch(payload)
+        assert status == "ok"
+        assert len(body) == 2, "untraced v2 requests keep the pre-obs reply shape"
+
+    def test_traced_dispatch_reply_piggybacks_spans(
+        self, engine_server, job_workload, obs_tracing
+    ):
+        query = job_workload.train[31].query
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        assert ctx.trace_id is not None
+        payload = pickle.dumps(
+            ("plan_many", ([query], None), contexts_to_wire([ctx])),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        status, body = engine_server._dispatch(payload)
+        assert status == "ok" and len(body) == 3
+        spans = body[2]
+        names = {s["name"] for s in spans}
+        assert {"server.dispatch", "engine.batch"} <= names
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["engine.batch"]["parent_id"] == by_name["server.dispatch"]["span_id"]
+        assert all(s["trace_id"] == ctx.trace_id for s in spans)
+        # drained: the server keeps nothing for this trace after replying
+        assert obs_tracing.spans(ctx.trace_id) == []
+
+    def test_traced_remote_call_joins_server_spans(
+        self, remote_backend, job_workload, obs_tracing
+    ):
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        queries = [w.query for w in job_workload.train[32:34]]
+        results = remote_backend.plan_many(queries, ctxs=[ctx, ctx])
+        assert all(r is not None for r in results)
+        spans = obs_tracing.spans(ctx.trace_id)
+        names = {s.name for s in spans}
+        assert {"remote.call", "server.dispatch", "engine.batch"} <= names
+        call = next(s for s in spans if s.name == "remote.call")
+        dispatch = next(s for s in spans if s.name == "server.dispatch")
+        batch = next(s for s in spans if s.name == "engine.batch")
+        assert dispatch.parent_id == call.span_id
+        assert batch.parent_id == dispatch.span_id
+        tree = obs_tracing.tree(ctx.trace_id)
+        assert len(tree) == 1, "one joined tree, rooted at the client call"
+        assert tree[0]["name"] == "remote.call"
+
+    def test_v1_server_gets_plain_frames_and_no_spans(
+        self, remote_backend, job_workload, obs_tracing, monkeypatch
+    ):
+        monkeypatch.setattr(remote_backend, "server_protocol", 1)
+        ctx = RequestContext.mint(tenant="t", traced=True)
+        results = remote_backend.plan_many(
+            [job_workload.train[35].query], ctxs=[ctx]
+        )
+        assert results[0] is not None
+        assert obs_tracing.spans(ctx.trace_id) == []
+
+    def test_disabled_tracing_keeps_remote_plans_bitwise_identical(
+        self, remote_backend, job_workload
+    ):
+        previous = obs.set_enabled(False)
+        try:
+            ctx = RequestContext.mint(tenant="t", traced=True)
+            assert ctx.trace_id is None
+            queries = [w.query for w in job_workload.train[36:38]]
+            with_ctx = remote_backend.plan_many(queries, ctxs=[ctx, ctx])
+            plain = job_workload.database.plan_many(queries)
+            assert [plan_signature(p.plan) for p in with_ctx] == [
+                plan_signature(p.plan) for p in plain
+            ]
+            assert len(obs.get_tracer()) == 0 or not obs.get_tracer().spans(None)
+        finally:
+            obs.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: traced optimize against a real repro-engine subprocess
+# ----------------------------------------------------------------------
+class TestTracedServingSubprocess:
+    def test_traced_submit_yields_one_joined_trace(self, job_workload, obs_tracing):
+        """The PR's acceptance path: submit(traced=True) against a real
+        ``repro-engine`` subprocess produces one joined span tree crossing
+        the wire, exportable as JSON and Prometheus text."""
+        boot = (
+            "from repro.engine.remote.server import main; "
+            "raise SystemExit(main(['job', '--scale', '0.03', '--seed', '1', "
+            "'--port', '0', '--metrics']))"
+        )
+        env = dict(os.environ)
+        env.pop("REPRO_OBS", None)  # default-on tracing server-side
+        proc = subprocess.Popen(
+            [sys.executable, "-c", boot],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        url = None
+        session = None
+        try:
+            assert proc.stdout is not None
+            for line in proc.stdout:  # the watchdog bounds a wedged startup
+                if "listening on " in line:
+                    url = line.split("listening on ", 1)[1].split()[0]
+                    break
+            assert url is not None, "server never printed its listening line"
+            session = FossSession.open(
+                workload=job_workload, config=tiny_config(engine_url=url)
+            )
+            service = session.service()
+            ticket = service.submit(job_workload.train[40].sql, traced=True)
+            trace_id = ticket.context.trace_id
+            assert trace_id is not None
+            result = service.wait(ticket, timeout=WATCHDOG_S / 2)
+            assert result.status == "done"
+
+            tracer = obs.get_tracer()
+            spans = tracer.spans(trace_id)
+            names = {s.name for s in spans}
+            assert len(spans) >= 4, names
+            assert "service.request" in names
+            assert "remote.call" in names
+            assert "server.dispatch" in names, "server-side spans must cross the wire"
+            tree = tracer.tree(trace_id)
+            assert len(tree) == 1, "all spans join into a single tree"
+            assert tree[0]["name"] == "service.request"
+
+            # Both exporters can render the joined trace / live registry.
+            facade = session.observability()
+            snap = json.loads(facade.json())
+            assert any(s["trace_id"] == trace_id for s in snap.get("spans", []))
+            prom = facade.prometheus()
+            assert "serving_latency_ms" in prom
+
+            # The subprocess serves Prometheus text on its own listener.
+            host, port = url[len("tcp://"):].rsplit(":", 1)
+            scrape = socket.create_connection((host, int(port)), timeout=CLIENT_TIMEOUT_S)
+            try:
+                scrape.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+                raw = b""
+                while True:
+                    chunk = scrape.recv(65536)
+                    if not chunk:
+                        break
+                    raw += chunk
+            finally:
+                scrape.close()
+            assert raw.startswith(b"HTTP/1.0 200")
+            assert b"engine_requests_total" in raw
+        finally:
+            if session is not None:
+                session.close()
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
